@@ -1,0 +1,59 @@
+// Command fssga-bench regenerates the experiment tables E1–E13 of the
+// Pritchard–Vempala (SPAA 2006) reproduction: one table per quantitative
+// claim, as indexed in DESIGN.md and recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	fssga-bench                 # run every experiment (full sweeps)
+//	fssga-bench -exp=E10        # run one experiment
+//	fssga-bench -quick          # reduced sweeps (seconds, not minutes)
+//	fssga-bench -seed=7         # change the master seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	expID := flag.String("exp", "", "experiment ID to run (E1..E13); empty = all")
+	seed := flag.Int64("seed", 1, "master random seed")
+	quick := flag.Bool("quick", false, "reduced sweeps and trial counts")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown tables")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := exp.Options{Seed: *seed, Quick: *quick}
+	print := func(t *exp.Table) {
+		if *markdown {
+			t.PrintMarkdown(os.Stdout)
+		} else {
+			t.Print(os.Stdout)
+		}
+	}
+	if *expID == "" {
+		for _, id := range exp.IDs() {
+			print(exp.Registry[id](opts))
+		}
+		return
+	}
+	id := strings.ToUpper(strings.TrimSpace(*expID))
+	runner, ok := exp.Registry[id]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "fssga-bench: unknown experiment %q (known: %s)\n",
+			*expID, strings.Join(exp.IDs(), " "))
+		os.Exit(2)
+	}
+	print(runner(opts))
+}

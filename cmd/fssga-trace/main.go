@@ -1,0 +1,111 @@
+// Command fssga-trace renders the round-by-round evolution of an FSSGA
+// algorithm as a text table — the command-line equivalent of watching the
+// paper's demo applet.
+//
+// Usage:
+//
+//	fssga-trace -algo=twocolor -graph=path -n=8
+//	fssga-trace -algo=randomwalk -graph=cycle -n=6 -rounds=30
+//	fssga-trace -algo=shortestpath -graph=path -n=10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/algo/randomwalk"
+	"repro/internal/algo/shortestpath"
+	"repro/internal/algo/twocolor"
+	"repro/internal/fssga"
+	"repro/internal/graph"
+	"repro/internal/trace"
+)
+
+func main() {
+	algo := flag.String("algo", "twocolor", "algorithm: twocolor, randomwalk, shortestpath")
+	gname := flag.String("graph", "path", "topology: path, cycle, grid, star")
+	n := flag.Int("n", 8, "node count")
+	rounds := flag.Int("rounds", 0, "rounds to trace (0 = until quiescent, capped)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	g, err := buildGraph(*gname, *n)
+	if err != nil {
+		fail(err)
+	}
+	cap := *rounds
+	if cap == 0 {
+		cap = 6 * g.NumNodes()
+	}
+
+	switch *algo {
+	case "twocolor":
+		net := twocolor.NewNetwork(g, 0, *seed)
+		h := trace.RecordUntil(net, cap, func(nt *fssga.Network[twocolor.State]) bool {
+			return nt.Quiescent()
+		})
+		err = h.Render(os.Stdout, func(s twocolor.State) string {
+			return map[twocolor.State]string{
+				twocolor.Blank: ".", twocolor.Red: "R", twocolor.Blue: "B", twocolor.Failed: "X",
+			}[s]
+		})
+	case "randomwalk":
+		tr, werr := randomwalk.New(g, 0, *seed)
+		if werr != nil {
+			fail(werr)
+		}
+		h := trace.Record(tr.Net, cap)
+		err = h.Render(os.Stdout, func(s randomwalk.State) string {
+			return map[randomwalk.State]string{
+				randomwalk.Blank: ".", randomwalk.Heads: "h", randomwalk.Tails: "t",
+				randomwalk.Eliminated: "x", randomwalk.Flip: "F", randomwalk.Waiting: "W",
+				randomwalk.NoTails: "N", randomwalk.OneTails: "1",
+			}[s]
+		})
+	case "shortestpath":
+		net, werr := shortestpath.NewNetwork(g, []int{0}, g.NumNodes(), *seed)
+		if werr != nil {
+			fail(werr)
+		}
+		h := trace.RecordUntil(net, cap, func(nt *fssga.Network[shortestpath.State]) bool {
+			return nt.Quiescent()
+		})
+		err = h.Render(os.Stdout, func(s shortestpath.State) string {
+			if s.Label >= g.NumNodes() {
+				return "-"
+			}
+			return strconv.Itoa(s.Label)
+		})
+	default:
+		fail(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	if err != nil {
+		fail(err)
+	}
+}
+
+func buildGraph(name string, n int) (*graph.Graph, error) {
+	switch name {
+	case "path":
+		return graph.Path(n), nil
+	case "cycle":
+		return graph.Cycle(n), nil
+	case "grid":
+		s := 1
+		for (s+1)*(s+1) <= n {
+			s++
+		}
+		return graph.Grid(s, s), nil
+	case "star":
+		return graph.Star(n), nil
+	default:
+		return nil, fmt.Errorf("unknown graph %q", name)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fssga-trace:", err)
+	os.Exit(1)
+}

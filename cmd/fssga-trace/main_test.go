@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestBuildGraphNames(t *testing.T) {
+	for _, name := range []string{"path", "cycle", "grid", "star"} {
+		g, err := buildGraph(name, 9)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if g.NumNodes() < 2 || g.Validate() != nil {
+			t.Errorf("%s: bad graph %v", name, g)
+		}
+	}
+	if _, err := buildGraph("nope", 5); err == nil {
+		t.Fatal("unknown graph accepted")
+	}
+}

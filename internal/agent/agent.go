@@ -1,0 +1,99 @@
+// Package agent provides the agent-on-graph substrate of Sections 2.1 and
+// 4.5–4.6: an entity inhabiting one node at a time that moves along edges.
+// The direct (centralized) random walk here serves two roles: the engine
+// of the bridge-finding algorithm of Section 2.1, and the ground-truth
+// walk law against which the FSSGA random walk of Section 4.4 is compared
+// in experiment E7.
+package agent
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Walker is an agent at a node of a graph.
+type Walker struct {
+	Pos   int
+	Steps int // moves taken so far
+}
+
+// NewWalker places an agent at start, which must be a live node.
+func NewWalker(g *graph.Graph, start int) *Walker {
+	if !g.Alive(start) {
+		panic(fmt.Sprintf("agent: start node %d is dead", start))
+	}
+	return &Walker{Pos: start}
+}
+
+// Step moves the agent to a uniformly random live neighbour and returns
+// the edge traversed. If the agent is stuck (isolated or dead position) it
+// stays put and ok is false.
+func (w *Walker) Step(g *graph.Graph, rng *rand.Rand) (from, to int, ok bool) {
+	d := g.Degree(w.Pos)
+	if d == 0 {
+		return w.Pos, w.Pos, false
+	}
+	// Index into the sorted neighbour list so seeded walks are exactly
+	// reproducible (map iteration order is not).
+	next := g.NeighborsSorted(w.Pos)[rng.Intn(d)]
+	from = w.Pos
+	w.Pos = next
+	w.Steps++
+	return from, next, true
+}
+
+// HittingTime runs a random walk from `from` until it reaches `to`,
+// returning the number of steps, or (maxSteps, false) if the bound is hit
+// first.
+func HittingTime(g *graph.Graph, from, to int, maxSteps int, rng *rand.Rand) (steps int, ok bool) {
+	w := NewWalker(g, from)
+	for s := 0; s < maxSteps; s++ {
+		if w.Pos == to {
+			return s, true
+		}
+		if _, _, moved := w.Step(g, rng); !moved {
+			return s, false
+		}
+	}
+	if w.Pos == to {
+		return maxSteps, true
+	}
+	return maxSteps, false
+}
+
+// CoverTime runs a random walk from start until every live node has been
+// visited, returning the number of steps, or (maxSteps, false).
+func CoverTime(g *graph.Graph, start, maxSteps int, rng *rand.Rand) (steps int, ok bool) {
+	w := NewWalker(g, start)
+	visited := make(map[int]bool, g.NumNodes())
+	visited[start] = true
+	for s := 0; s < maxSteps; s++ {
+		if len(visited) == g.NumNodes() {
+			return s, true
+		}
+		if _, _, moved := w.Step(g, rng); !moved {
+			return s, false
+		}
+		visited[w.Pos] = true
+	}
+	return maxSteps, len(visited) == g.NumNodes()
+}
+
+// VisitDistribution runs `steps` walk steps from start and returns the
+// number of times each node was occupied (including the start occupation).
+// The stationary distribution of a random walk on an undirected graph is
+// proportional to degree; E7 uses this to verify the FSSGA walk law.
+func VisitDistribution(g *graph.Graph, start, steps int, rng *rand.Rand) []int {
+	w := NewWalker(g, start)
+	visits := make([]int, g.Cap())
+	visits[start]++
+	for s := 0; s < steps; s++ {
+		if _, _, moved := w.Step(g, rng); !moved {
+			break
+		}
+		visits[w.Pos]++
+	}
+	return visits
+}

@@ -1,0 +1,151 @@
+package agent
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestNewWalkerDeadStartPanics(t *testing.T) {
+	g := graph.Path(3)
+	g.RemoveNode(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewWalker(g, 1)
+}
+
+func TestStepMovesAlongEdges(t *testing.T) {
+	g := graph.Cycle(6)
+	rng := rand.New(rand.NewSource(1))
+	w := NewWalker(g, 0)
+	for i := 0; i < 100; i++ {
+		from, to, ok := w.Step(g, rng)
+		if !ok {
+			t.Fatal("walker stuck on a cycle")
+		}
+		if !g.HasEdge(from, to) {
+			t.Fatalf("walked a non-edge (%d, %d)", from, to)
+		}
+		if w.Pos != to {
+			t.Fatal("position not updated")
+		}
+	}
+	if w.Steps != 100 {
+		t.Fatalf("Steps = %d", w.Steps)
+	}
+}
+
+func TestStepStuckIsolated(t *testing.T) {
+	g := graph.Path(2)
+	g.RemoveEdge(0, 1)
+	rng := rand.New(rand.NewSource(1))
+	w := NewWalker(g, 0)
+	if _, _, ok := w.Step(g, rng); ok {
+		t.Fatal("isolated walker moved")
+	}
+	if w.Steps != 0 {
+		t.Fatal("stuck step counted")
+	}
+}
+
+func TestStepUniformAmongNeighbors(t *testing.T) {
+	g := graph.Star(5) // centre 0, leaves 1..4
+	rng := rand.New(rand.NewSource(7))
+	counts := make([]int, 5)
+	const trials = 8000
+	for i := 0; i < trials; i++ {
+		w := NewWalker(g, 0)
+		_, to, _ := w.Step(g, rng)
+		counts[to]++
+	}
+	for leaf := 1; leaf <= 4; leaf++ {
+		frac := float64(counts[leaf]) / trials
+		if math.Abs(frac-0.25) > 0.03 {
+			t.Fatalf("leaf %d frequency %.3f, want ~0.25", leaf, frac)
+		}
+	}
+}
+
+func TestHittingTimePath(t *testing.T) {
+	// On P2, hitting the other endpoint takes exactly 1 step.
+	g := graph.Path(2)
+	rng := rand.New(rand.NewSource(1))
+	steps, ok := HittingTime(g, 0, 1, 100, rng)
+	if !ok || steps != 1 {
+		t.Fatalf("steps=%d ok=%v", steps, ok)
+	}
+	// Hitting yourself takes 0 steps.
+	steps, ok = HittingTime(g, 0, 0, 100, rng)
+	if !ok || steps != 0 {
+		t.Fatalf("self hit: steps=%d ok=%v", steps, ok)
+	}
+}
+
+func TestHittingTimeBound(t *testing.T) {
+	g := graph.Path(3)
+	g.RemoveEdge(1, 2) // target unreachable
+	rng := rand.New(rand.NewSource(1))
+	if _, ok := HittingTime(g, 0, 2, 50, rng); ok {
+		t.Fatal("unreachable target reported hit")
+	}
+}
+
+func TestHittingTimeExpectationPath(t *testing.T) {
+	// Expected hitting time from one end of P_n to the other is (n-1)^2.
+	g := graph.Path(5)
+	rng := rand.New(rand.NewSource(3))
+	const trials = 3000
+	total := 0
+	for i := 0; i < trials; i++ {
+		s, ok := HittingTime(g, 0, 4, 100000, rng)
+		if !ok {
+			t.Fatal("bound hit")
+		}
+		total += s
+	}
+	mean := float64(total) / trials
+	if math.Abs(mean-16) > 1.5 {
+		t.Fatalf("mean hitting time %.2f, want ~16", mean)
+	}
+}
+
+func TestCoverTime(t *testing.T) {
+	g := graph.Complete(6)
+	rng := rand.New(rand.NewSource(1))
+	steps, ok := CoverTime(g, 0, 100000, rng)
+	if !ok {
+		t.Fatal("failed to cover K6")
+	}
+	if steps < 5 {
+		t.Fatalf("covered 6 nodes in %d steps (impossible below 5)", steps)
+	}
+}
+
+func TestCoverTimeSingleNode(t *testing.T) {
+	g := graph.New(1)
+	rng := rand.New(rand.NewSource(1))
+	steps, ok := CoverTime(g, 0, 10, rng)
+	if !ok || steps != 0 {
+		t.Fatalf("steps=%d ok=%v", steps, ok)
+	}
+}
+
+func TestVisitDistributionProportionalToDegree(t *testing.T) {
+	// On a star, the centre has stationary mass 1/2.
+	g := graph.Star(9)
+	rng := rand.New(rand.NewSource(5))
+	visits := VisitDistribution(g, 0, 40000, rng)
+	total := 0
+	for _, v := range visits {
+		total += v
+	}
+	centreFrac := float64(visits[0]) / float64(total)
+	if math.Abs(centreFrac-0.5) > 0.03 {
+		t.Fatalf("centre fraction %.3f, want ~0.5", centreFrac)
+	}
+}

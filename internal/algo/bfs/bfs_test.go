@@ -1,0 +1,225 @@
+package bfs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/algo/synchronizer"
+	"repro/internal/fssga"
+	"repro/internal/graph"
+)
+
+func TestStatusString(t *testing.T) {
+	if Waiting.String() != "waiting" || Found.String() != "found" ||
+		Failed.String() != "failed" || Status(9).String() != "invalid" {
+		t.Fatal("status names wrong")
+	}
+}
+
+func TestLabelsAreDistancesMod3(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(30)
+		g := graph.RandomConnectedGNP(n, 0.12, rng)
+		origin := rng.Intn(n)
+		res, err := Run(g, origin, nil, 10*n, seed)
+		if err != nil || !res.Converged {
+			return false
+		}
+		dist := g.BFSDistances(origin)
+		for v := 0; v < n; v++ {
+			if res.Labels[v] != int8(dist[v]%3) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTargetFound(t *testing.T) {
+	g := graph.Path(10)
+	res, err := Run(g, 0, []int{9}, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("reachable target not found")
+	}
+	if res.Statuses[0] != Found {
+		t.Fatal("originator not marked found")
+	}
+	// Every node on the unique shortest path must be found.
+	for v := 0; v < 10; v++ {
+		if res.Statuses[v] != Found {
+			t.Fatalf("path node %d status = %v", v, res.Statuses[v])
+		}
+	}
+}
+
+func TestTargetUnreachableFails(t *testing.T) {
+	g := graph.Path(6)
+	g.RemoveEdge(2, 3)
+	res, err := Run(g, 0, []int{5}, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Fatal("unreachable target reported found")
+	}
+	if res.Statuses[0] != Failed {
+		t.Fatalf("originator status = %v, want failed", res.Statuses[0])
+	}
+	// Unreached nodes stay unlabelled.
+	for v := 3; v < 6; v++ {
+		if res.Labels[v] != NoLabel {
+			t.Fatalf("disconnected node %d got label %d", v, res.Labels[v])
+		}
+	}
+}
+
+func TestNoTargetEndsFailed(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(25)
+		g := graph.RandomConnectedGNP(n, 0.15, rng)
+		res, err := Run(g, 0, nil, 20*n, seed)
+		if err != nil || !res.Converged {
+			return false
+		}
+		// Without a target every node must settle on Failed.
+		for v := 0; v < n; v++ {
+			if res.Statuses[v] != Failed {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFoundPropagationTiming(t *testing.T) {
+	// Labelling takes d rounds to reach the target, and the found report
+	// takes d rounds back: total ~2d (+1 quiescence check margin).
+	g := graph.Path(21)
+	d := 20
+	res, err := Run(g, 0, []int{20}, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("not found")
+	}
+	if res.Rounds > 2*d+2 {
+		t.Fatalf("rounds = %d, want <= %d", res.Rounds, 2*d+2)
+	}
+}
+
+func TestMultipleTargetsNearestWins(t *testing.T) {
+	g := graph.Path(9)
+	res, err := Run(g, 4, []int{0, 8}, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("targets not found")
+	}
+}
+
+func TestOriginatorIsTarget(t *testing.T) {
+	g := graph.Path(4)
+	res, err := Run(g, 1, []int{1}, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("self-target not found")
+	}
+}
+
+func TestNewNetworkErrors(t *testing.T) {
+	g := graph.Path(4)
+	g.RemoveNode(2)
+	if _, err := NewNetwork(g, 2, nil, 1); err == nil {
+		t.Fatal("dead originator accepted")
+	}
+	if _, err := NewNetwork(g, 0, []int{2}, 1); err == nil {
+		t.Fatal("dead target accepted")
+	}
+}
+
+// The asynchronous variant — the BFS automaton wrapped in the
+// α synchronizer (Section 4.2), exactly as the paper prescribes — must
+// produce the same labels and verdict as the synchronous run.
+func TestAsyncViaSynchronizer(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		g := graph.RandomConnectedGNP(n, 0.15, rng)
+		target := rng.Intn(n)
+
+		syncRes, err := Run(g.Clone(), 0, []int{target}, 20*n, seed)
+		if err != nil || !syncRes.Converged {
+			return false
+		}
+
+		isTarget := func(v int) bool { return v == target }
+		net := fssga.New[synchronizer.State[State]](g,
+			synchronizer.Wrapped[State]{Inner: automaton{}},
+			synchronizer.WrapInit(func(v int) State {
+				return State{Originator: v == 0, Target: isTarget(v), Label: NoLabel, Status: Waiting}
+			}),
+			seed)
+		tr := synchronizer.NewTracker(net)
+		tr.RunUnits(6*n+20, rng)
+
+		for v := 0; v < n; v++ {
+			got := net.State(v).Cur
+			if got.Label != syncRes.Labels[v] || got.Status != syncRes.Statuses[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepFrontierDoesNotVacuouslyFail(t *testing.T) {
+	// A labelled node with an unlabelled neighbour must keep waiting, not
+	// fail vacuously.
+	self := State{Label: 0, Status: Waiting}
+	view := fssga.NewView([]State{{Label: NoLabel, Status: Waiting}})
+	out := (automaton{}).Step(self, view, nil)
+	if out.Status != Waiting {
+		t.Fatalf("status = %v, want waiting", out.Status)
+	}
+}
+
+func TestStepLeafFailsWhenNoSuccessorsPossible(t *testing.T) {
+	// All neighbours labelled, none a successor: vacuous all-failed.
+	self := State{Label: 2, Status: Waiting}
+	view := fssga.NewView([]State{{Label: 1, Status: Waiting}})
+	out := (automaton{}).Step(self, view, nil)
+	if out.Status != Failed {
+		t.Fatalf("status = %v, want failed", out.Status)
+	}
+}
+
+func TestStepPredecessorFoundMeansDoNothing(t *testing.T) {
+	self := State{Label: 1, Status: Waiting}
+	view := fssga.NewView([]State{
+		{Label: 0, Status: Found},  // predecessor found
+		{Label: 2, Status: Failed}, // successor failed
+	})
+	out := (automaton{}).Step(self, view, nil)
+	if out.Status != Waiting {
+		t.Fatalf("status = %v, want waiting (do nothing)", out.Status)
+	}
+}

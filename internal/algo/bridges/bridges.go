@@ -1,0 +1,208 @@
+// Package bridges implements the random-walk bridge-finding algorithm of
+// Pritchard & Vempala (SPAA 2006), Section 2.1. Every edge gets an
+// arbitrary orientation and an integer counter, incremented when the agent
+// crosses it forward and decremented when crossed backward. The counter of
+// a bridge provably stays in {-1, 0, 1}; the counter of any non-bridge
+// exceeds ±1 within expected O(mn) steps (Claim 2.1), so after
+// O(c·mn·log n) steps every non-bridge has been identified with
+// probability 1 − n^{1−c}. The algorithm is 1-sensitive: only the agent's
+// position is critical.
+//
+// The package also builds the 3n+1-node product graph from the proof of
+// Claim 2.1, used by experiment E2 to validate the hitting-time argument
+// directly.
+package bridges
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/agent"
+	"repro/internal/graph"
+)
+
+// Detector runs the walk and maintains the per-edge counters.
+type Detector struct {
+	G *graph.Graph
+	// Walker is the agent performing the random walk.
+	Walker *agent.Walker
+	// counters maps each (canonically oriented) edge to its counter; the
+	// orientation is U -> V of the canonical form.
+	counters map[graph.Edge]int
+	// exceeded records edges whose counter ever hit ±2 (non-bridges).
+	exceeded map[graph.Edge]bool
+}
+
+// NewDetector creates a detector with the agent at start.
+func NewDetector(g *graph.Graph, start int) (*Detector, error) {
+	if !g.Alive(start) {
+		return nil, fmt.Errorf("bridges: start node %d is not live", start)
+	}
+	return &Detector{
+		G:        g,
+		Walker:   agent.NewWalker(g, start),
+		counters: make(map[graph.Edge]int),
+		exceeded: make(map[graph.Edge]bool),
+	}, nil
+}
+
+// Step advances the walk one move and updates the traversed edge's
+// counter. It reports false if the agent is stuck.
+func (d *Detector) Step(rng *rand.Rand) bool {
+	from, to, ok := d.Walker.Step(d.G, rng)
+	if !ok {
+		return false
+	}
+	e := graph.NormEdge(from, to)
+	if from == e.U {
+		d.counters[e]++
+	} else {
+		d.counters[e]--
+	}
+	if c := d.counters[e]; c >= 2 || c <= -2 {
+		d.exceeded[e] = true
+	}
+	return true
+}
+
+// Run advances the walk `steps` moves (stopping early if stuck) and
+// returns the number of moves made.
+func (d *Detector) Run(steps int, rng *rand.Rand) int {
+	for i := 0; i < steps; i++ {
+		if !d.Step(rng) {
+			return i
+		}
+	}
+	return steps
+}
+
+// Counter returns the current counter of edge {u, v}.
+func (d *Detector) Counter(u, v int) int {
+	return d.counters[graph.NormEdge(u, v)]
+}
+
+// Exceeded reports whether edge {u, v} has been identified as a
+// non-bridge (its counter reached ±2 at some point).
+func (d *Detector) Exceeded(u, v int) bool {
+	return d.exceeded[graph.NormEdge(u, v)]
+}
+
+// CandidateBridges returns the live edges not yet identified as
+// non-bridges, in canonical order — the algorithm's current bridge
+// estimate. With enough steps this converges (from above) to the true
+// bridge set.
+func (d *Detector) CandidateBridges() []graph.Edge {
+	var out []graph.Edge
+	for _, e := range d.G.Edges() {
+		if !d.exceeded[e] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// StepsToExceed runs a fresh walk from start until the counter of edge
+// {u, v} exceeds ±1, returning the number of steps taken, or (maxSteps,
+// false) if the bound is reached first. Used to measure Claim 2.1's
+// expected O(mn) bound directly.
+func StepsToExceed(g *graph.Graph, start, u, v, maxSteps int, rng *rand.Rand) (int, bool) {
+	d, err := NewDetector(g, start)
+	if err != nil {
+		return 0, false
+	}
+	target := graph.NormEdge(u, v)
+	for i := 0; i < maxSteps; i++ {
+		if !d.Step(rng) {
+			return i, false
+		}
+		if d.exceeded[target] {
+			return i + 1, true
+		}
+	}
+	return maxSteps, false
+}
+
+// ProductGraph builds the 3n+1-node auxiliary graph from the proof of
+// Claim 2.1 for the tracked edge e = (v1, v2) (oriented toward v2): nodes
+// v_i^r for r in {-1, 0, 1} encode "agent at v_i with counter r", plus the
+// absorbing EXCEEDED node. The node v_i^r has ID r_index*n + i with
+// r_index = r+1, and EXCEEDED has ID 3n. A random walk on this graph,
+// started at v1^0, reaches EXCEEDED exactly when the original process
+// pushes the counter to ±2.
+func ProductGraph(g *graph.Graph, v1, v2 int) (*graph.Graph, int, error) {
+	if !g.HasEdge(v1, v2) {
+		return nil, 0, fmt.Errorf("bridges: (%d, %d) is not a live edge", v1, v2)
+	}
+	n := g.Cap()
+	pg := graph.New(3*n + 1)
+	exceeded := 3 * n
+	id := func(i, r int) int { return (r+1)*n + i }
+	// Copies of every edge except the tracked one, in each layer.
+	for _, e := range g.Edges() {
+		if e == graph.NormEdge(v1, v2) {
+			continue
+		}
+		for r := -1; r <= 1; r++ {
+			pg.AddEdge(id(e.U, r), id(e.V, r))
+		}
+	}
+	// The tracked edge moves between layers:
+	// (v1^-1, v2^0), (v1^0, v2^1), (v1^1, EXCEEDED), (EXCEEDED, v2^-1).
+	pg.AddEdge(id(v1, -1), id(v2, 0))
+	pg.AddEdge(id(v1, 0), id(v2, 1))
+	pg.AddEdge(id(v1, 1), exceeded)
+	pg.AddEdge(exceeded, id(v2, -1))
+	// Dead nodes of g leave isolated dead copies; remove them for a clean
+	// product.
+	for v := 0; v < n; v++ {
+		if !g.Alive(v) {
+			for r := -1; r <= 1; r++ {
+				pg.RemoveNode(id(v, r))
+			}
+		}
+	}
+	return pg, exceeded, nil
+}
+
+// Result summarizes a bridge-finding run.
+type Result struct {
+	Steps      int
+	Candidates []graph.Edge // remaining candidate bridges
+	TrueSet    bool         // candidates exactly match the Tarjan oracle
+}
+
+// Run executes the detector for the recommended O(c·mn·log n) steps and
+// compares against the oracle.
+func Run(g *graph.Graph, start int, c float64, rng *rand.Rand) Result {
+	n := g.NumNodes()
+	m := g.NumEdges()
+	steps := int(c * float64(m) * float64(n) * log2ceil(n))
+	d, err := NewDetector(g, start)
+	if err != nil {
+		return Result{}
+	}
+	made := d.Run(steps, rng)
+	res := Result{Steps: made, Candidates: d.CandidateBridges()}
+	oracle := g.Bridges()
+	res.TrueSet = len(oracle) == len(res.Candidates)
+	if res.TrueSet {
+		for i := range oracle {
+			if oracle[i] != res.Candidates[i] {
+				res.TrueSet = false
+				break
+			}
+		}
+	}
+	return res
+}
+
+func log2ceil(n int) float64 {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	if b == 0 {
+		b = 1
+	}
+	return float64(b)
+}

@@ -1,0 +1,209 @@
+package bridges
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/agent"
+	"repro/internal/graph"
+)
+
+func TestNewDetectorDeadStart(t *testing.T) {
+	g := graph.Path(3)
+	g.RemoveNode(0)
+	if _, err := NewDetector(g, 0); err == nil {
+		t.Fatal("dead start accepted")
+	}
+}
+
+func TestBridgeCountersStayBounded(t *testing.T) {
+	// On any graph, a bridge's counter must remain in {-1, 0, 1} forever.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.Barbell(4, 3) // 3 bridges
+		d, err := NewDetector(g, 0)
+		if err != nil {
+			return false
+		}
+		oracle := map[graph.Edge]bool{}
+		for _, b := range g.Bridges() {
+			oracle[b] = true
+		}
+		for i := 0; i < 4000; i++ {
+			if !d.Step(rng) {
+				return false
+			}
+			for b := range oracle {
+				c := d.Counter(b.U, b.V)
+				if c < -1 || c > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonBridgesGetIdentified(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.Theta(2, 3, 4) // no bridges at all
+	res := Run(g, 0, 4, rng)
+	if len(res.Candidates) != 0 {
+		t.Fatalf("candidates = %v, want none", res.Candidates)
+	}
+	if !res.TrueSet {
+		t.Fatal("TrueSet false with exact match")
+	}
+}
+
+func TestRunMatchesOracle(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(12)
+		g := graph.RandomConnectedGNP(n, 0.25, rng)
+		res := Run(g, rng.Intn(n), 6, rng)
+		return res.TrueSet
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBarbell(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.Barbell(4, 2)
+	res := Run(g, 0, 6, rng)
+	if !res.TrueSet {
+		t.Fatalf("candidates %v vs oracle %v", res.Candidates, g.Bridges())
+	}
+	if len(res.Candidates) != 2 {
+		t.Fatalf("bridges = %v", res.Candidates)
+	}
+}
+
+func TestStepsToExceedCycle(t *testing.T) {
+	// On a cycle every edge is a non-bridge; the counter of any edge
+	// exceeds eventually.
+	rng := rand.New(rand.NewSource(5))
+	g := graph.Cycle(8)
+	steps, ok := StepsToExceed(g, 0, 0, 1, 500000, rng)
+	if !ok {
+		t.Fatalf("counter never exceeded in %d steps", steps)
+	}
+	if steps < 8 {
+		t.Fatalf("exceeded after only %d steps (must circle the cycle)", steps)
+	}
+}
+
+func TestStepsToExceedBridgeNever(t *testing.T) {
+	g := graph.Path(4) // every edge a bridge
+	rng := rand.New(rand.NewSource(1))
+	if _, ok := StepsToExceed(g, 0, 1, 2, 20000, rng); ok {
+		t.Fatal("bridge counter exceeded ±1")
+	}
+}
+
+func TestProductGraphStructure(t *testing.T) {
+	g := graph.Cycle(5)
+	pg, exceeded, err := ProductGraph(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pg.Cap() != 3*5+1 {
+		t.Fatalf("cap = %d", pg.Cap())
+	}
+	// 3m+1 edges: m-1 copied edges × 3 layers + 4 connector edges
+	// = 3(m-1) + 4 = 3m + 1.
+	if pg.NumEdges() != 3*5+1 {
+		t.Fatalf("m = %d, want 16", pg.NumEdges())
+	}
+	// Non-bridge: the product graph is connected (proof of Claim 2.1).
+	if !pg.Connected() {
+		t.Fatal("product graph disconnected for a non-bridge")
+	}
+	if exceeded != 15 {
+		t.Fatalf("exceeded id = %d", exceeded)
+	}
+}
+
+func TestProductGraphBridgeDisconnected(t *testing.T) {
+	// For a bridge, EXCEEDED is unreachable from v1^0.
+	g := graph.Path(4)
+	pg, exceeded, err := ProductGraph(g, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := pg.BFSDistances(0*4 + 1 + 4) // v1^0 has ID (0+1)*n + 1 = 5
+	if dist[exceeded] != graph.Unreachable {
+		t.Fatal("EXCEEDED reachable for a bridge")
+	}
+}
+
+func TestProductGraphBadEdge(t *testing.T) {
+	g := graph.Path(4)
+	if _, _, err := ProductGraph(g, 0, 2); err == nil {
+		t.Fatal("non-edge accepted")
+	}
+}
+
+// The product-graph walk and the direct counter process must have the
+// same law: compare mean hitting times of EXCEEDED vs mean StepsToExceed.
+func TestProductGraphMatchesDirectProcess(t *testing.T) {
+	g := graph.Theta(1, 1, 2)
+	const trials = 400
+	rngA := rand.New(rand.NewSource(11))
+	rngB := rand.New(rand.NewSource(22))
+
+	totalDirect := 0
+	for i := 0; i < trials; i++ {
+		s, ok := StepsToExceed(g, 0, 0, 2, 1000000, rngA)
+		if !ok {
+			t.Fatal("direct process did not exceed")
+		}
+		totalDirect += s
+	}
+	pg, exceeded, err := ProductGraph(g, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.Cap()
+	start := (0+1)*n + 0 // v1^0
+	totalProduct := 0
+	for i := 0; i < trials; i++ {
+		s, ok := agent.HittingTime(pg, start, exceeded, 1000000, rngB)
+		if !ok {
+			t.Fatal("product walk did not hit EXCEEDED")
+		}
+		totalProduct += s
+	}
+	meanD := float64(totalDirect) / trials
+	meanP := float64(totalProduct) / trials
+	ratio := meanD / meanP
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("mean steps: direct %.1f vs product %.1f (laws differ)", meanD, meanP)
+	}
+}
+
+func TestExceededAndCounterAccessors(t *testing.T) {
+	g := graph.Cycle(4)
+	d, err := NewDetector(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Exceeded(0, 1) || d.Counter(0, 1) != 0 {
+		t.Fatal("fresh detector has state")
+	}
+	rng := rand.New(rand.NewSource(2))
+	// Map-iteration order makes the walk non-reproducible across runs, so
+	// give it a budget under which a miss is astronomically unlikely.
+	d.Run(5000, rng)
+	for _, e := range g.Edges() {
+		if !d.Exceeded(e.U, e.V) {
+			t.Fatalf("edge %v not identified after 5000 steps", e)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package census
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/fssga"
+	"repro/internal/graph"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Bits: 12, Sketches: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Config{
+		{Bits: 0, Sketches: 1},
+		{Bits: 20, Sketches: 1},
+		{Bits: 8, Sketches: 0},
+		{Bits: 8, Sketches: 99},
+	} {
+		if bad.Validate() == nil {
+			t.Fatalf("accepted bad config %+v", bad)
+		}
+	}
+}
+
+func TestInitialStateDistribution(t *testing.T) {
+	// Bit 1 (lowest) should be set with probability ~1/2.
+	cfg := Config{Bits: 8, Sketches: 1}
+	rng := rand.New(rand.NewSource(1))
+	const trials = 10000
+	lowest := 0
+	none := 0
+	for i := 0; i < trials; i++ {
+		s := InitialState(cfg, rng)
+		if s[0]&1 != 0 {
+			lowest++
+		}
+		if s[0] == 0 {
+			none++
+		}
+	}
+	if f := float64(lowest) / trials; math.Abs(f-0.5) > 0.02 {
+		t.Fatalf("lowest-bit frequency %.3f, want ~0.5", f)
+	}
+	// "Nothing" happens with probability 2^-8 ≈ 0.0039.
+	if f := float64(none) / trials; f > 0.01 {
+		t.Fatalf("no-bit frequency %.4f, want ~0.004", f)
+	}
+	// Exactly one bit set otherwise.
+	s := InitialState(cfg, rng)
+	if s[0] != 0 && s[0]&(s[0]-1) != 0 {
+		t.Fatalf("state %b has more than one bit", s[0])
+	}
+}
+
+func TestFirstZero(t *testing.T) {
+	if firstZero(0b0000, 4) != 0 {
+		t.Fatal("firstZero of empty wrong")
+	}
+	if firstZero(0b0111, 4) != 3 {
+		t.Fatal("firstZero of 0111 wrong")
+	}
+	if firstZero(0b1111, 4) != 4 {
+		t.Fatal("firstZero of full wrong")
+	}
+	if firstZero(0b0101, 4) != 1 {
+		t.Fatal("firstZero of 0101 wrong")
+	}
+}
+
+func TestEstimateMonotone(t *testing.T) {
+	cfg := Config{Bits: 8, Sketches: 1}
+	var lo, hi State
+	lo[0] = 0b1   // R = 1
+	hi[0] = 0b111 // R = 3
+	if Estimate(lo, cfg) >= Estimate(hi, cfg) {
+		t.Fatal("estimate not monotone in prefix length")
+	}
+}
+
+func TestRunConvergesAndAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := graph.RandomConnectedGNP(64, 0.08, rng)
+	cfg := Config{Bits: 12, Sketches: 4, Seed: 7}
+	res, err := Run(g, cfg, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("census did not converge")
+	}
+	// OR diffusion stabilizes within diameter rounds.
+	if res.Rounds > g.Diameter()+1 {
+		t.Fatalf("rounds = %d > diameter+1 = %d", res.Rounds, g.Diameter()+1)
+	}
+	// All nodes agree after convergence on a connected graph.
+	first := res.Estimates[0]
+	for v := 1; v < 64; v++ {
+		if res.Estimates[v] != first {
+			t.Fatalf("estimates differ: node 0 = %v, node %d = %v", first, v, res.Estimates[v])
+		}
+	}
+}
+
+func TestEstimateAccuracyAveraged(t *testing.T) {
+	// With 8 sketches averaged over several seeds, the median estimate
+	// should land within a factor of 2 of n (the paper's whp claim).
+	n := 256
+	within := 0
+	const trials = 20
+	for seed := int64(0); seed < trials; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnectedGNP(n, 0.05, rng)
+		cfg := Config{Bits: 14, Sketches: 8, Seed: seed}
+		res, err := Run(g, cfg, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := res.Estimates[0]
+		if est >= float64(n)/2 && est <= float64(n)*2 {
+			within++
+		}
+	}
+	if within < trials*3/5 {
+		t.Fatalf("only %d/%d runs within factor 2", within, trials)
+	}
+}
+
+func TestZeroSensitivityUnderEdgeFaults(t *testing.T) {
+	// Remove non-disconnecting edges mid-run: all surviving nodes must
+	// still converge to a common estimate (0-sensitivity, Section 2).
+	rng := rand.New(rand.NewSource(9))
+	g := graph.RandomConnectedGNP(50, 0.15, rng)
+	cfg := Config{Bits: 12, Sketches: 4, Seed: 3}
+	net, err := NewNetwork(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill a few random edges that are not bridges, one per round.
+	for i := 0; i < 5; i++ {
+		net.SyncRound()
+		bridges := map[graph.Edge]bool{}
+		for _, b := range g.Bridges() {
+			bridges[b] = true
+		}
+		for _, e := range g.Edges() {
+			if !bridges[e] {
+				g.RemoveEdge(e.U, e.V)
+				break
+			}
+		}
+	}
+	if !g.Connected() {
+		t.Fatal("test setup broke connectivity")
+	}
+	net.RunSyncUntilQuiescent(1000)
+	first := Estimate(net.State(0), cfg)
+	for v := 1; v < 50; v++ {
+		if Estimate(net.State(v), cfg) != first {
+			t.Fatalf("estimates diverged after faults at node %d", v)
+		}
+	}
+}
+
+func TestDisconnectionBoundsComponentEstimates(t *testing.T) {
+	// Split the graph: each component's estimate must lie within
+	// [|G'|/2, 2|G|] for most runs (the paper's disconnection guarantee).
+	nOK := 0
+	const trials = 15
+	for seed := int64(0); seed < trials; seed++ {
+		g := graph.Barbell(30, 1)
+		n0 := g.NumNodes()
+		cfg := Config{Bits: 14, Sketches: 8, Seed: seed}
+		net, err := NewNetwork(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.SyncRound() // one round of mixing
+		// Cut the single bridge: two components of 30 each.
+		in := faults.NewInjector(faults.Schedule{faults.EdgeAt(2, 29, 30)})
+		in.Advance(g, 2)
+		net.RunSyncUntilQuiescent(1000)
+		est := Estimate(net.State(0), cfg)
+		comp := len(g.ComponentOf(0))
+		if est >= float64(comp)/2 && est <= 2*float64(n0) {
+			nOK++
+		}
+	}
+	if nOK < trials*3/5 {
+		t.Fatalf("only %d/%d disconnected runs within bounds", nOK, trials)
+	}
+}
+
+func TestAutomatonIsMonotone(t *testing.T) {
+	// The OR step never clears bits — the semi-lattice property that
+	// underlies fault tolerance.
+	var a, b State
+	a[0] = 0b1010
+	b[0] = 0b0101
+	view := fssga.NewView([]State{b})
+	out := automaton{}.Step(a, view, nil)
+	if out[0] != 0b1111 {
+		t.Fatalf("OR step = %b", out[0])
+	}
+	out2 := automaton{}.Step(out, view, nil)
+	if out2 != out {
+		t.Fatal("OR step not idempotent")
+	}
+}
+
+// The OR diffusion is a semi-lattice, so it converges under purely
+// asynchronous fair scheduling too, to the same fixed point as the
+// synchronous run.
+func TestAsyncConvergesToSameFixedPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	g := graph.RandomConnectedGNP(40, 0.1, rng)
+	cfg := Config{Bits: 12, Sketches: 4, Seed: 9}
+
+	syncNet, err := NewNetwork(g.Clone(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncNet.RunSyncUntilQuiescent(1000)
+
+	asyncNet, err := NewNetwork(g.Clone(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asyncNet.RunAsync(&fssga.FairShuffle{}, 5, 40*200, nil)
+
+	for v := 0; v < 40; v++ {
+		if syncNet.State(v) != asyncNet.State(v) {
+			t.Fatalf("async fixed point differs at node %d", v)
+		}
+	}
+}

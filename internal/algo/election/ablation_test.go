@@ -1,0 +1,44 @@
+package election
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestAblationColourVerificationIsLoadBearing runs the DESIGN.md ablation:
+// with both verification channels (colour clashes and agent collisions) disabled, same-label clusters
+// cannot see each other, so runs frequently end with multiple simultaneous
+// "leaders" (or stall with several remainers); with it enabled the same
+// seeds always converge to exactly one.
+func TestAblationColourVerificationIsLoadBearing(t *testing.T) {
+	const seeds = 10
+	n := 8
+	budget := 40000 * n
+
+	fullOK := 0
+	ablatedBad := 0
+	for seed := int64(0); seed < seeds; seed++ {
+		g1 := graph.Cycle(n)
+		full := New(g1, seed)
+		if _, ok := full.Run(budget, 3*n+10); ok {
+			fullOK++
+		}
+
+		g2 := graph.Cycle(n)
+		ablated := NewWithoutVerification(g2, seed)
+		ablated.Run(budget, 3*n+10)
+		// Failure modes of the ablated run: multiple leaders, or more
+		// than one permanent remainer (undetected coexisting clusters).
+		if len(ablated.Leaders()) > 1 || ablated.Remaining() > 1 {
+			ablatedBad++
+		}
+	}
+	if fullOK != seeds {
+		t.Fatalf("full algorithm elected only %d/%d", fullOK, seeds)
+	}
+	if ablatedBad == 0 {
+		t.Fatalf("ablated algorithm showed no duplicate-leader/multi-remainer runs in %d seeds — colour verification appears redundant, contradicting the design note", seeds)
+	}
+	t.Logf("ablation: %d/%d ablated runs ended with multiple leaders or remainers", ablatedBad, seeds)
+}

@@ -1,0 +1,69 @@
+package election
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fssga"
+	"repro/internal/graph"
+)
+
+// debugWhy reports which inconsistency rule fires for node v, mirroring
+// inconsistent(). Test-only diagnostics.
+func debugWhy(net *fssga.Network[State], g *graph.Graph, v int) string {
+	self := net.State(v)
+	var nbrs []State
+	for _, u := range g.NeighborsSorted(v) {
+		nbrs = append(nbrs, net.State(u))
+	}
+	view := fssga.NewView(nbrs)
+	// Mirror the branch gating of Step: arms 1 and 2 preempt arm 3.
+	behind := (self.Phase + 2) % 3
+	ahead := (self.Phase + 1) % 3
+	if !self.Started || self.NP != NoNP ||
+		view.Any(func(t State) bool { return t.Started && t.Phase == behind }) ||
+		view.Any(func(t State) bool { return t.Started && t.Phase == ahead }) {
+		return ""
+	}
+	if !inconsistent(self, view, false) {
+		return ""
+	}
+	if self.labeled() && view.Any(func(t State) bool { return t.labeled() && t.RootLabel != self.RootLabel }) {
+		return "a:rootlabel"
+	}
+	if self.Dist == 0 && view.Any(func(t State) bool { return t.Dist == 0 }) {
+		return "b:adjacent-roots"
+	}
+	hands := view.Count(2, func(t State) bool { return t.MSt == MHand })
+	if hands >= 2 || (self.MSt == MHand && hands >= 1) {
+		return "e:hands"
+	}
+	return "d:colour"
+}
+
+func TestDebugGridTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("debug trace")
+	}
+	g := graph.Grid(3, 3)
+	tr := New(g, 77)
+	logged := 0
+	for r := 0; r < 3000 && logged < 12; r++ {
+		tr.Round()
+		if tr.Remaining() == 1 {
+			for v := 0; v < g.Cap(); v++ {
+				why := debugWhy(tr.Net, g, v)
+				if why != "" && logged < 12 {
+					logged++
+					s := tr.Net.State(v)
+					line := fmt.Sprintf("round %d node %d: %s state=%+v nbrs=", r, v, why, s)
+					for _, u := range g.NeighborsSorted(v) {
+						line += fmt.Sprintf(" [%d]%+v", u, tr.Net.State(u))
+					}
+					t.Log(line)
+				}
+			}
+		}
+	}
+	t.Logf("rounds=%d phases=%d remaining=%d leaders=%v", tr.Rounds, tr.Phases, tr.Remaining(), tr.Leaders())
+}

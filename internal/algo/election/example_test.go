@@ -1,0 +1,23 @@
+package election_test
+
+import (
+	"fmt"
+
+	"repro/internal/algo/election"
+	"repro/internal/graph"
+)
+
+// Example elects a unique leader among eight identical anonymous nodes on
+// a cycle — global symmetry breaking with finite state per node.
+func Example() {
+	g := graph.Cycle(8)
+	tr := election.New(g, 42)
+	_, ok := tr.Run(100000*8, 34)
+	fmt.Println("elected:", ok)
+	fmt.Println("leaders:", len(tr.Leaders()))
+	fmt.Println("remaining candidates:", tr.Remaining())
+	// Output:
+	// elected: true
+	// leaders: 1
+	// remaining candidates: 1
+}

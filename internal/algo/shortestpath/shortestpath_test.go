@@ -1,0 +1,191 @@
+package shortestpath
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fssga"
+	"repro/internal/graph"
+)
+
+func TestLabelsMatchBFSOracle(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		g := graph.RandomConnectedGNP(n, 0.1, rng)
+		targets := []int{rng.Intn(n)}
+		if rng.Intn(2) == 0 {
+			targets = append(targets, rng.Intn(n))
+		}
+		res, err := Run(g, targets, 10*n, seed)
+		if err != nil || !res.Converged {
+			return false
+		}
+		want := g.BFSDistances(targets...)
+		for v := 0; v < n; v++ {
+			if res.Labels[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStabilizesWithinEccentricityRounds(t *testing.T) {
+	// A node at distance d stabilizes within d rounds; the whole network
+	// within max distance + 1 rounds (one extra round to detect quiet).
+	g := graph.Path(30)
+	res, err := Run(g, []int{0}, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if res.Rounds > 30 {
+		t.Fatalf("rounds = %d, want <= 30", res.Rounds)
+	}
+	for v := 0; v < 30; v++ {
+		if res.Labels[v] != v {
+			t.Fatalf("label[%d] = %d", v, res.Labels[v])
+		}
+	}
+}
+
+func TestNoTargetComponentCapsAtN(t *testing.T) {
+	g := graph.Path(6)
+	g.RemoveEdge(2, 3) // nodes 3..5 cut off from target 0
+	res, err := Run(g, []int{0}, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 3; v < 6; v++ {
+		if res.Labels[v] != 6 { // cap = live node count
+			t.Fatalf("label[%d] = %d, want cap 6", v, res.Labels[v])
+		}
+	}
+	if res.Labels[1] != 1 || res.Labels[2] != 2 {
+		t.Fatal("reachable side wrong")
+	}
+}
+
+func TestZeroSensitivity(t *testing.T) {
+	// Kill edges and nodes mid-run (never a target): after requiescing,
+	// labels equal distances in the surviving graph — the "reasonably
+	// correct" requirement with χ = ∅ so no failure is critical.
+	g := graph.Grid(6, 6)
+	targets := []int{0}
+	net, err := NewNetwork(g, targets, 36, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RunSync(3, nil) // partial progress
+	g.RemoveEdge(0, 1)
+	g.RemoveNode(14)
+	net.RunSync(3, nil)
+	g.RemoveEdge(6, 12)
+	rounds, finished := net.RunSyncUntilQuiescent(500)
+	if !finished {
+		t.Fatalf("did not restabilize (rounds=%d)", rounds)
+	}
+	want := g.BFSDistances(0)
+	for v := 0; v < 36; v++ {
+		if !g.Alive(v) {
+			continue
+		}
+		got := net.State(v).Label
+		wantLabel := want[v]
+		if wantLabel == graph.Unreachable {
+			wantLabel = 36 // cap
+		}
+		if got != wantLabel {
+			t.Fatalf("label[%d] = %d, want %d", v, got, wantLabel)
+		}
+	}
+}
+
+func TestAsyncConvergence(t *testing.T) {
+	// The balancing rule also stabilizes under asynchronous activation.
+	g := graph.Cycle(20)
+	net, err := NewNetwork(g, []int{5}, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RunAsync(&fssga.FairShuffle{}, 11, 20*200, nil)
+	want := g.BFSDistances(5)
+	for v := 0; v < 20; v++ {
+		if net.State(v).Label != want[v] {
+			t.Fatalf("async label[%d] = %d, want %d", v, net.State(v).Label, want[v])
+		}
+	}
+}
+
+func TestRouteNextAndPath(t *testing.T) {
+	g := graph.Grid(4, 4)
+	res, err := Run(g, []int{0}, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From the far corner (15), the path must be a shortest path: length
+	// = label + 1 nodes.
+	path := RoutePath(g, res.Labels, 15)
+	if path == nil {
+		t.Fatal("routing got stuck")
+	}
+	if len(path) != res.Labels[15]+1 {
+		t.Fatalf("path %v has %d nodes, want %d", path, len(path), res.Labels[15]+1)
+	}
+	if path[len(path)-1] != 0 {
+		t.Fatalf("path %v does not end at the sink", path)
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if !g.HasEdge(path[i], path[i+1]) {
+			t.Fatalf("path %v uses a non-edge", path)
+		}
+	}
+	// Routing from a target returns an immediate empty continuation.
+	if next := RouteNext(g, res.Labels, 0); next != -1 {
+		t.Fatalf("RouteNext at sink = %d, want -1", next)
+	}
+}
+
+func TestRoutePathStuckWithoutTarget(t *testing.T) {
+	g := graph.Path(4)
+	g.RemoveEdge(1, 2)
+	res, err := Run(g, []int{0}, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path := RoutePath(g, res.Labels, 3); path != nil {
+		t.Fatalf("expected stuck routing, got %v", path)
+	}
+}
+
+func TestNewNetworkErrors(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := NewNetwork(g, []int{0}, 0, 1); err == nil {
+		t.Fatal("cap 0 accepted")
+	}
+	g.RemoveNode(2)
+	if _, err := NewNetwork(g, []int{2}, 4, 1); err == nil {
+		t.Fatal("dead target accepted")
+	}
+}
+
+func TestMultipleTargetsNearest(t *testing.T) {
+	g := graph.Path(9)
+	res, err := Run(g, []int{0, 8}, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3, 4, 3, 2, 1, 0}
+	for v, w := range want {
+		if res.Labels[v] != w {
+			t.Fatalf("labels = %v, want %v", res.Labels, want)
+		}
+	}
+}

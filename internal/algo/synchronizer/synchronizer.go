@@ -1,0 +1,144 @@
+// Package synchronizer implements the α-synchronizer transform of
+// Pritchard & Vempala (SPAA 2006), Section 4.2 (after Awerbuch): it wraps
+// any synchronous FSSGA (Q, f) into an asynchronous FSSGA over
+// Q × Q × {0, 1, 2} whose nodes each keep a mod-3 clock plus their current
+// and previous wrapped states. A node advances its clock — performing one
+// wrapped synchronous round — only when no neighbour is a clock step
+// behind; neighbours one step ahead are read through their *previous*
+// state so every simulated round uses a consistent snapshot.
+//
+// Adjacent clocks always differ by at most one, so the mod-3
+// representation is unambiguous and the construction stays finite-state.
+// In the FSSGA read-all model the transform adds no communication cost
+// (experiment E5).
+package synchronizer
+
+import (
+	"math/rand"
+
+	"repro/internal/fssga"
+)
+
+// State is the synchronizer's composite node state (q_c, q_p, i).
+type State[S comparable] struct {
+	Cur   S     // q_c: current wrapped state
+	Prev  S     // q_p: previous wrapped state, read by slower neighbours
+	Clock uint8 // i: round counter mod 3
+}
+
+// Wrapped is the transformed automaton f_s. It implements
+// fssga.Automaton[State[S]] for any inner fssga.Automaton[S].
+type Wrapped[S comparable] struct {
+	Inner fssga.Automaton[S]
+}
+
+// Step implements fssga.Automaton. If any neighbour's clock is one step
+// behind, the node WAITs (state unchanged). Otherwise it simulates one
+// synchronous round of the inner automaton: same-clock neighbours
+// contribute their current state, one-ahead neighbours their previous
+// state.
+func (w Wrapped[S]) Step(self State[S], view *fssga.View[State[S]], rnd *rand.Rand) State[S] {
+	i := self.Clock
+	behind := (i + 2) % 3
+	ahead := (i + 1) % 3
+	if view.Any(func(t State[S]) bool { return t.Clock == behind }) {
+		return self // WAIT
+	}
+	inner := make(map[S]int)
+	view.ForEach(func(t State[S], c int) {
+		switch t.Clock {
+		case i:
+			inner[t.Cur] += c
+		case ahead:
+			inner[t.Prev] += c
+		}
+	})
+	next := w.Inner.Step(self.Cur, fssga.NewViewFromCounts(inner), rnd)
+	return State[S]{Cur: next, Prev: self.Cur, Clock: ahead}
+}
+
+// WrapInit lifts an inner initial-state function to the composite state
+// space: clock 0, with Prev initialized to the same value (it is never
+// read before the first tick).
+func WrapInit[S comparable](init func(v int) S) func(v int) State[S] {
+	return func(v int) State[S] {
+		s := init(v)
+		return State[S]{Cur: s, Prev: s, Clock: 0}
+	}
+}
+
+// Tracker drives a synchronized network asynchronously while maintaining
+// the *true* (unbounded) tick count of every node — bookkeeping that the
+// finite-state nodes themselves cannot hold, used to verify the
+// synchronizer's guarantees: adjacent tick counts differ by at most one,
+// and k units of fair time yield at least k ticks everywhere.
+type Tracker[S comparable] struct {
+	Net *fssga.Network[State[S]]
+	// Ticks[v] is the number of completed simulated rounds at node v.
+	Ticks []int
+	// History[v] records node v's Cur state after each of its ticks, so
+	// tests can compare against a reference synchronous execution.
+	History [][]S
+}
+
+// NewTracker wraps a synchronized network for instrumented execution.
+func NewTracker[S comparable](net *fssga.Network[State[S]]) *Tracker[S] {
+	return &Tracker[S]{
+		Net:     net,
+		Ticks:   make([]int, net.G.Cap()),
+		History: make([][]S, net.G.Cap()),
+	}
+}
+
+// Activate activates node v once and reports whether its clock ticked.
+func (t *Tracker[S]) Activate(v int) bool {
+	before := t.Net.State(v).Clock
+	t.Net.Activate(v)
+	after := t.Net.State(v)
+	if after.Clock == before {
+		return false
+	}
+	t.Ticks[v]++
+	t.History[v] = append(t.History[v], after.Cur)
+	return true
+}
+
+// RunUnits executes `units` fair time units: each unit activates every
+// live node exactly once, in a fresh random order (the paper's fairness
+// assumption for Section 4.2).
+func (t *Tracker[S]) RunUnits(units int, rng *rand.Rand) {
+	var order []int
+	for u := 0; u < units; u++ {
+		order = t.Net.G.Nodes(order[:0])
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, v := range order {
+			t.Activate(v)
+		}
+	}
+}
+
+// SkewOK reports whether every pair of adjacent live nodes has tick
+// counts differing by at most one — the α-synchronizer safety invariant.
+func (t *Tracker[S]) SkewOK() bool {
+	for _, e := range t.Net.G.Edges() {
+		d := t.Ticks[e.U] - t.Ticks[e.V]
+		if d < -1 || d > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// MinTicks returns the minimum tick count over live nodes.
+func (t *Tracker[S]) MinTicks() int {
+	min := -1
+	for v := 0; v < t.Net.G.Cap(); v++ {
+		if !t.Net.G.Alive(v) {
+			continue
+		}
+		if min == -1 || t.Ticks[v] < min {
+			min = t.Ticks[v]
+		}
+	}
+	return min
+}

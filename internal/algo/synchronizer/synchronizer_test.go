@@ -1,0 +1,188 @@
+package synchronizer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fssga"
+	"repro/internal/graph"
+)
+
+// maxAuto is the deterministic max-spreading automaton used as the wrapped
+// synchronous algorithm in these tests.
+type maxAuto struct{}
+
+func (maxAuto) Step(self int, view *fssga.View[int], rnd *rand.Rand) int {
+	best := self
+	view.ForEach(func(s, _ int) {
+		if s > best {
+			best = s
+		}
+	})
+	return best
+}
+
+func newWrappedNet(g *graph.Graph, seed int64) *fssga.Network[State[int]] {
+	return fssga.New[State[int]](g,
+		Wrapped[int]{Inner: maxAuto{}},
+		WrapInit(func(v int) int { return v }),
+		seed)
+}
+
+func TestWrapInit(t *testing.T) {
+	init := WrapInit(func(v int) int { return v * 10 })
+	s := init(3)
+	if s.Cur != 30 || s.Prev != 30 || s.Clock != 0 {
+		t.Fatalf("init = %+v", s)
+	}
+}
+
+func TestSkewInvariantUnderFairSchedule(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnectedGNP(20, 0.15, rng)
+		tr := NewTracker(newWrappedNet(g, seed))
+		for u := 0; u < 15; u++ {
+			tr.RunUnits(1, rng)
+			if !tr.SkewOK() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKUnitsGiveKTicks(t *testing.T) {
+	// Paper claim (Section 4.2): if each node activates at least once per
+	// unit time, then after k units every node has ticked at least k times.
+	rng := rand.New(rand.NewSource(4))
+	g := graph.Grid(5, 5)
+	tr := NewTracker(newWrappedNet(g, 4))
+	for k := 1; k <= 20; k++ {
+		tr.RunUnits(1, rng)
+		if min := tr.MinTicks(); min < k {
+			t.Fatalf("after %d units min ticks = %d", k, min)
+		}
+	}
+}
+
+func TestSkewInvariantUnderAdversarialSchedule(t *testing.T) {
+	// Even a biased schedule (node 0 activated 10x more often) cannot
+	// break the ±1 tick skew: fast nodes block on slow neighbours.
+	rng := rand.New(rand.NewSource(9))
+	g := graph.Cycle(8)
+	tr := NewTracker(newWrappedNet(g, 9))
+	for i := 0; i < 4000; i++ {
+		v := 0
+		if i%11 != 0 {
+			v = rng.Intn(8)
+		}
+		tr.Activate(v)
+		if !tr.SkewOK() {
+			t.Fatalf("skew invariant broken at activation %d", i)
+		}
+	}
+}
+
+// The wrapped asynchronous execution must simulate the synchronous one
+// exactly: node v's state after its k-th tick equals v's state after the
+// k-th synchronous round of the inner automaton.
+func TestSimulatesSynchronousExecution(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnectedGNP(15, 0.2, rng)
+
+		// Reference: pure synchronous run of the inner automaton,
+		// recording each node's state after every round.
+		ref := fssga.New[int](g.Clone(), maxAuto{}, func(v int) int { return v }, seed)
+		const rounds = 12
+		refHistory := make([][]int, g.Cap())
+		for r := 0; r < rounds; r++ {
+			ref.SyncRound()
+			for v := 0; v < g.Cap(); v++ {
+				refHistory[v] = append(refHistory[v], ref.State(v))
+			}
+		}
+
+		// Asynchronous wrapped run under a fair random schedule.
+		tr := NewTracker(newWrappedNet(g, seed))
+		tr.RunUnits(3*rounds, rng)
+
+		for v := 0; v < g.Cap(); v++ {
+			n := len(tr.History[v])
+			if n > rounds {
+				n = rounds
+			}
+			if n < rounds/3 {
+				return false // should have made progress
+			}
+			for k := 0; k < n; k++ {
+				if tr.History[v][k] != refHistory[v][k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitWhenNeighborBehind(t *testing.T) {
+	// Two nodes: advance node 0 once; then node 0 must WAIT until node 1
+	// catches up.
+	g := graph.Path(2)
+	net := newWrappedNet(g, 1)
+	net.Activate(0)
+	if net.State(0).Clock != 1 {
+		t.Fatal("first activation should tick")
+	}
+	net.Activate(0) // neighbour at clock 0 = behind
+	if net.State(0).Clock != 1 {
+		t.Fatal("node 0 should WAIT for node 1")
+	}
+	net.Activate(1) // node 1 at clock 0 sees node 0 at clock 1 = ahead: ok
+	if net.State(1).Clock != 1 {
+		t.Fatal("node 1 should tick")
+	}
+	net.Activate(0) // now both at 1: node 0 can tick again
+	if net.State(0).Clock != 2 {
+		t.Fatal("node 0 should tick after catch-up")
+	}
+}
+
+func TestAheadNeighborReadThroughPrev(t *testing.T) {
+	// Node 1 ticks first (reads node 0's Cur = 0 -> max(1, 0) = 1, Prev
+	// becomes 1). Then node 0 at clock 0 reads node 1 (clock 1, ahead)
+	// through Prev = 1: max(0, 1) = 1, NOT node 1's Cur.
+	g := graph.Path(2)
+	net := fssga.New[State[int]](g,
+		Wrapped[int]{Inner: maxAuto{}},
+		WrapInit(func(v int) int { return v * 5 }), // states 0 and 5
+		1)
+	net.Activate(1)
+	if s := net.State(1); s.Cur != 5 || s.Prev != 5 || s.Clock != 1 {
+		t.Fatalf("node 1 after tick: %+v", s)
+	}
+	net.Activate(0)
+	if s := net.State(0); s.Cur != 5 || s.Clock != 1 {
+		t.Fatalf("node 0 after tick: %+v (must read Prev of ahead neighbour)", s)
+	}
+}
+
+func TestConvergesToGlobalMaxAsync(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.RandomConnectedGNP(25, 0.12, rng)
+	tr := NewTracker(newWrappedNet(g, 2))
+	tr.RunUnits(100, rng)
+	for v := 0; v < 25; v++ {
+		if got := tr.Net.State(v).Cur; got != 24 {
+			t.Fatalf("node %d Cur = %d, want 24", v, got)
+		}
+	}
+}

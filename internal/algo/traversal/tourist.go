@@ -1,0 +1,192 @@
+package traversal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/fssga"
+	"repro/internal/graph"
+)
+
+// This file implements the greedy tourist of Section 4.6. Let T be the set
+// of unvisited nodes (initially all of V). The agent repeatedly follows a
+// shortest path to the nearest member of T, visiting and removing it. By
+// Rosenkrantz–Stearns–Lewis the agent makes O(n log n) moves; each move
+// costs the distance-label restabilization (Section 2.2 automaton, with T
+// as the target set) plus a Θ(log d) local-symmetry-breaking election, for
+// O(n log² n) total time.
+//
+// The distance labels are maintained by a genuine FSSGA (the Section 2.2
+// balancing rule toward the unvisited set); the agent's hop —
+// pick-uniformly-among-minimum-label-neighbours — is executed by the
+// tracker, with the Θ(log d) tournament cost charged per hop (the
+// tournament itself is implemented and measured in internal/algo/
+// randomwalk; re-embedding it here would only duplicate that machinery).
+// This substitution is recorded in DESIGN.md.
+
+// TouristState is a node's state for the greedy tourist: its visited flag
+// and its current distance-to-unvisited label (capped, so finite).
+type TouristState struct {
+	Visited bool
+	Label   int
+}
+
+// touristAutomaton is the Section 2.2 balancing rule with T = the
+// unvisited set: unvisited nodes pin label 0; visited nodes take
+// 1 + min neighbour label, capped.
+type touristAutomaton struct {
+	cap int
+}
+
+// Step implements fssga.Automaton.
+func (a touristAutomaton) Step(self TouristState, view *fssga.View[TouristState], rnd *rand.Rand) TouristState {
+	if !self.Visited {
+		return TouristState{Visited: false, Label: 0}
+	}
+	best := a.cap
+	view.ForEach(func(t TouristState, _ int) {
+		if t.Label < best {
+			best = t.Label
+		}
+	})
+	label := best + 1
+	if label > a.cap {
+		label = a.cap
+	}
+	return TouristState{Visited: true, Label: label}
+}
+
+// TouristTracker runs the greedy tourist.
+type TouristTracker struct {
+	Net *fssga.Network[TouristState]
+	// Pos is the agent's position.
+	Pos int
+	// Moves is the number of agent hops.
+	Moves int
+	// Rounds is the total time charge: label-stabilization rounds plus
+	// the Θ(log d) election charge per hop.
+	Rounds int
+	cap    int
+	rng    *rand.Rand
+}
+
+// NewTourist builds a greedy-tourist run starting at `start`.
+func NewTourist(g *graph.Graph, start int, seed int64) (*TouristTracker, error) {
+	if !g.Alive(start) {
+		return nil, fmt.Errorf("traversal: start node %d is not live", start)
+	}
+	cap := g.NumNodes()
+	net := fssga.New[TouristState](g, touristAutomaton{cap: cap}, func(v int) TouristState {
+		return TouristState{Visited: false, Label: 0}
+	}, seed)
+	t := &TouristTracker{Net: net, Pos: start, cap: cap, rng: rand.New(rand.NewSource(seed))}
+	t.visit(start)
+	return t, nil
+}
+
+// visit marks the agent's current node visited.
+func (t *TouristTracker) visit(v int) {
+	s := t.Net.State(v)
+	if !s.Visited {
+		t.Net.SetState(v, TouristState{Visited: true, Label: s.Label})
+	}
+}
+
+// stabilize runs label rounds to quiescence, charging them to Rounds.
+func (t *TouristTracker) stabilize(maxRounds int) bool {
+	rounds, ok := t.Net.RunSyncUntilQuiescent(maxRounds)
+	t.Rounds += rounds
+	return ok
+}
+
+// Done reports whether every live node has been visited.
+func (t *TouristTracker) Done() bool {
+	for v := 0; v < t.Net.G.Cap(); v++ {
+		if t.Net.G.Alive(v) && !t.Net.State(v).Visited {
+			return false
+		}
+	}
+	return true
+}
+
+// MoveOnce restabilizes labels and hops the agent to a uniformly random
+// minimum-label neighbour, charging ceil(log2 d) + 2 rounds for the
+// symmetry-breaking tournament. It reports false if the agent is stuck
+// (no live neighbour, or every remaining unvisited node unreachable).
+func (t *TouristTracker) MoveOnce(maxStabilize int) bool {
+	if !t.Net.G.Alive(t.Pos) {
+		return false // the agent's node died: sensitivity-1 critical fault
+	}
+	if !t.stabilize(maxStabilize) {
+		return false
+	}
+	nbrs := t.Net.G.NeighborsSorted(t.Pos)
+	if len(nbrs) == 0 {
+		return false
+	}
+	best := t.cap + 1
+	var argmin []int
+	for _, u := range nbrs {
+		l := t.Net.State(u).Label
+		if l < best {
+			best = l
+			argmin = argmin[:0]
+		}
+		if l == best {
+			argmin = append(argmin, u)
+		}
+	}
+	if best >= t.cap {
+		return false // no unvisited node reachable
+	}
+	next := argmin[t.rng.Intn(len(argmin))]
+	// Charge the election tournament: Θ(log d) rounds (Section 4.4).
+	t.Rounds += int(math.Ceil(math.Log2(float64(len(nbrs))))) + 2
+	t.Pos = next
+	t.Moves++
+	t.visit(next)
+	return true
+}
+
+// Run moves the agent until every reachable node is visited, or the move
+// budget is exhausted, reporting whether the traversal completed (i.e.
+// everything reachable from the agent got visited).
+func (t *TouristTracker) Run(maxMoves int) bool {
+	maxStabilize := 4*t.Net.G.NumNodes() + 8
+	for m := 0; m < maxMoves; m++ {
+		if t.Done() {
+			return true
+		}
+		if !t.MoveOnce(maxStabilize) {
+			// Stuck: completed iff nothing reachable remains unvisited.
+			return t.unvisitedUnreachable()
+		}
+	}
+	return t.Done()
+}
+
+// unvisitedUnreachable reports whether every unvisited live node is
+// unreachable from the agent.
+func (t *TouristTracker) unvisitedUnreachable() bool {
+	if !t.Net.G.Alive(t.Pos) {
+		return false
+	}
+	for _, v := range t.Net.G.ComponentOf(t.Pos) {
+		if !t.Net.State(v).Visited {
+			return false
+		}
+	}
+	return true
+}
+
+// VisitedCount returns the number of visited live nodes.
+func (t *TouristTracker) VisitedCount() int {
+	n := 0
+	for v := 0; v < t.Net.G.Cap(); v++ {
+		if t.Net.G.Alive(v) && t.Net.State(v).Visited {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,291 @@
+package traversal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestStatusAndElectStrings(t *testing.T) {
+	if Blank.String() != "blank" || Hand.String() != "hand" || Status(9).String() != "invalid" {
+		t.Fatal("status names wrong")
+	}
+	if ENone.String() != "-" || EOneTails.String() != "onetails" || Elect(99).String() != "invalid" {
+		t.Fatal("elect names wrong")
+	}
+}
+
+func TestMilgramDeadOriginatorErrors(t *testing.T) {
+	g := graph.Path(3)
+	g.RemoveNode(0)
+	if _, err := NewMilgram(g, 0, 1); err == nil {
+		t.Fatal("dead originator accepted")
+	}
+}
+
+func TestMilgramVisitsEveryNode(t *testing.T) {
+	cases := map[string]*graph.Graph{
+		"path":   graph.Path(12),
+		"cycle":  graph.Cycle(10),
+		"grid":   graph.Grid(4, 4),
+		"tree":   graph.BinaryTree(15),
+		"clique": graph.Complete(8),
+	}
+	for name, g := range cases {
+		n := g.NumNodes()
+		tr, err := NewMilgram(g, 0, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, completed := tr.Run(4000 * n)
+		if !completed {
+			t.Errorf("%s: traversal did not complete", name)
+			continue
+		}
+		if got := tr.VisitedCount(); got != n {
+			t.Errorf("%s: visited %d of %d", name, got, n)
+		}
+	}
+}
+
+func TestMilgramHandMovesExactly2nMinus2(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(15)
+		g := graph.RandomConnectedGNP(n, 0.25, rng)
+		tr, err := NewMilgram(g, rng.Intn(n), seed)
+		if err != nil {
+			return false
+		}
+		if _, completed := tr.Run(20000 * n); !completed {
+			return false
+		}
+		return tr.HandMoves == 2*n-2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMilgramArmInvariantThroughout(t *testing.T) {
+	g := graph.Grid(4, 5)
+	tr, err := NewMilgram(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 100000 && !tr.Done(); r++ {
+		tr.Round()
+		if err := tr.ArmIsInducedPath(); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+	}
+	if !tr.Done() {
+		t.Fatal("did not complete")
+	}
+}
+
+func TestMilgramTwoNodes(t *testing.T) {
+	g := graph.Path(2)
+	tr, err := NewMilgram(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, completed := tr.Run(2000); !completed {
+		t.Fatal("P2 traversal failed")
+	}
+	if tr.HandMoves != 2 {
+		t.Fatalf("hand moves = %d, want 2", tr.HandMoves)
+	}
+}
+
+func TestMilgramArmKillBreaksInvariant(t *testing.T) {
+	// Θ(n) sensitivity: killing an interior arm node splits the arm,
+	// violating the rooted-induced-path invariant.
+	g := graph.Cycle(12)
+	tr, err := NewMilgram(g, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run until the arm has at least 5 members.
+	for r := 0; r < 100000; r++ {
+		tr.Round()
+		count := 0
+		for v := 0; v < 12; v++ {
+			if isArmOrHand(tr.Net.State(v)) {
+				count++
+			}
+		}
+		if count >= 5 {
+			break
+		}
+	}
+	// Find an interior arm node (not originator, not hand) and kill it.
+	victim := -1
+	for v := 1; v < 12; v++ {
+		if tr.Net.State(v).Status == Arm {
+			victim = v
+		}
+	}
+	if victim == -1 {
+		t.Skip("no interior arm node formed (arm too short for this seed)")
+	}
+	g.RemoveNode(victim)
+	if err := tr.ArmIsInducedPath(); err == nil {
+		t.Fatal("arm invariant survived an interior kill")
+	}
+}
+
+func TestTouristDeadStartErrors(t *testing.T) {
+	g := graph.Path(3)
+	g.RemoveNode(2)
+	if _, err := NewTourist(g, 2, 1); err == nil {
+		t.Fatal("dead start accepted")
+	}
+}
+
+func TestTouristVisitsEveryNode(t *testing.T) {
+	cases := map[string]*graph.Graph{
+		"path":   graph.Path(15),
+		"cycle":  graph.Cycle(12),
+		"grid":   graph.Grid(5, 5),
+		"tree":   graph.BinaryTree(20),
+		"clique": graph.Complete(9),
+	}
+	for name, g := range cases {
+		n := g.NumNodes()
+		tr, err := NewTourist(g, 0, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tr.Run(100 * n) {
+			t.Errorf("%s: tourist did not complete", name)
+			continue
+		}
+		if got := tr.VisitedCount(); got != n {
+			t.Errorf("%s: visited %d of %d", name, got, n)
+		}
+	}
+}
+
+func TestTouristMovesBoundedByNLogN(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(30)
+		g := graph.RandomConnectedGNP(n, 0.15, rng)
+		tr, err := NewTourist(g, rng.Intn(n), seed)
+		if err != nil {
+			return false
+		}
+		if !tr.Run(100 * n) {
+			return false
+		}
+		// Crude Rosenkrantz bound check: moves <= n * (2 + log2 n).
+		bound := n * (2 + bitsLen(n))
+		return tr.Moves <= bound
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func bitsLen(n int) int {
+	b := 0
+	for n > 0 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+func TestTouristSurvivesNonAgentFaults(t *testing.T) {
+	// Sensitivity 1: kill random non-agent nodes mid-run (keeping the
+	// graph connected); the tourist still visits everything that remains.
+	g := graph.Torus(4, 4) // 4-regular: robust to single node removals
+	tr, err := NewTourist(g, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	killed := 0
+	for m := 0; m < 2000 && !tr.Done(); m++ {
+		if !tr.MoveOnce(500) {
+			break
+		}
+		// Kill an unvisited non-agent node every few moves, if it keeps
+		// the graph connected.
+		if m%3 == 0 && killed < 3 {
+			for v := 0; v < g.Cap(); v++ {
+				if v == tr.Pos || !g.Alive(v) || tr.Net.State(v).Visited {
+					continue
+				}
+				h := g.Clone()
+				h.RemoveNode(v)
+				if h.Connected() {
+					g.RemoveNode(v)
+					killed++
+					break
+				}
+			}
+		}
+	}
+	if killed == 0 {
+		t.Fatal("test setup: no faults injected")
+	}
+	if !tr.Done() {
+		t.Fatalf("tourist failed under %d non-agent faults (visited %d/%d)", killed, tr.VisitedCount(), g.NumNodes())
+	}
+}
+
+func TestTouristAgentKillIsCritical(t *testing.T) {
+	g := graph.Cycle(8)
+	tr, err := NewTourist(g, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.MoveOnce(100)
+	g.RemoveNode(tr.Pos)
+	if tr.MoveOnce(100) {
+		t.Fatal("agent moved after its node died")
+	}
+}
+
+func TestTouristStuckDisconnected(t *testing.T) {
+	// If the unvisited remainder becomes unreachable, Run still succeeds
+	// in the "reasonably correct" sense of Section 2: everything in the
+	// agent's surviving component gets visited, and nothing more.
+	g := graph.Path(6)
+	tr, err := NewTourist(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.MoveOnce(100) // agent now at node 1
+	g.RemoveEdge(2, 3)
+	if !tr.Run(1000) {
+		t.Fatal("failed to finish the reachable component")
+	}
+	// Everything on the agent's side is visited...
+	for v := 0; v <= 2; v++ {
+		if !tr.Net.State(v).Visited {
+			t.Fatalf("reachable node %d unvisited", v)
+		}
+	}
+	// ...and the severed side is not.
+	if tr.VisitedCount() != 3 {
+		t.Fatalf("visited %d, want 3", tr.VisitedCount())
+	}
+}
+
+func TestTouristSingleNode(t *testing.T) {
+	g := graph.New(1)
+	tr, err := NewTourist(g, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Run(10) {
+		t.Fatal("singleton traversal failed")
+	}
+	if tr.Moves != 0 {
+		t.Fatalf("moves = %d", tr.Moves)
+	}
+}

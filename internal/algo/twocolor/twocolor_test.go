@@ -1,0 +1,193 @@
+package twocolor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fssga"
+	"repro/internal/graph"
+	"repro/internal/sm"
+)
+
+func TestStateString(t *testing.T) {
+	if Blank.String() != "blank" || Red.String() != "red" ||
+		Blue.String() != "blue" || Failed.String() != "failed" || State(9).String() != "invalid" {
+		t.Fatal("state names wrong")
+	}
+}
+
+func TestBipartiteGraphsSucceed(t *testing.T) {
+	cases := map[string]*graph.Graph{
+		"even-cycle": graph.Cycle(10),
+		"path":       graph.Path(9),
+		"tree":       graph.BinaryTree(15),
+		"grid":       graph.Grid(4, 5),
+		"hypercube":  graph.Hypercube(4),
+		"K34":        graph.CompleteBipartite(3, 4),
+	}
+	for name, g := range cases {
+		res := Run(g, 0, 10*g.NumNodes(), 1)
+		if !res.Converged {
+			t.Errorf("%s: did not converge", name)
+			continue
+		}
+		if !res.Bipartite {
+			t.Errorf("%s: wrongly declared non-bipartite", name)
+			continue
+		}
+		// The colouring must be proper.
+		for _, e := range g.Edges() {
+			cu, cv := res.Colors[e.U], res.Colors[e.V]
+			if cu == cv {
+				t.Errorf("%s: adjacent nodes %d,%d share colour %v", name, e.U, e.V, cu)
+			}
+			if cu == Blank || cv == Blank {
+				t.Errorf("%s: uncoloured node on edge %v", name, e)
+			}
+		}
+	}
+}
+
+func TestNonBipartiteGraphsFail(t *testing.T) {
+	cases := map[string]*graph.Graph{
+		"odd-cycle": graph.Cycle(9),
+		"triangle":  graph.Complete(3),
+		"K5":        graph.Complete(5),
+		"wheel":     graph.Wheel(6),
+	}
+	for name, g := range cases {
+		res := Run(g, 0, 10*g.NumNodes(), 1)
+		if !res.Converged {
+			t.Errorf("%s: did not converge", name)
+			continue
+		}
+		if res.Bipartite {
+			t.Errorf("%s: wrongly declared bipartite", name)
+		}
+		// FAILED floods everywhere.
+		for v := 0; v < g.Cap(); v++ {
+			if res.Colors[v] != Failed {
+				t.Errorf("%s: node %d = %v, want failed", name, v, res.Colors[v])
+			}
+		}
+	}
+}
+
+func TestMatchesOracleProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(25)
+		var g *graph.Graph
+		if seed%2 == 0 {
+			g = graph.RandomBipartite(n/2+1, n/2+1, 0.3, rng)
+		} else {
+			g = graph.RandomConnectedGNP(n, 0.15, rng)
+		}
+		res := Run(g, 0, 20*g.NumNodes(), seed)
+		return res.Converged && res.Bipartite == g.IsBipartite()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailedIsAbsorbing(t *testing.T) {
+	v := fssga.NewView([]State{Red})
+	if (automaton{}).Step(Failed, v, nil) != Failed {
+		t.Fatal("failed node reverted")
+	}
+}
+
+func TestAdjacentSameColorFails(t *testing.T) {
+	v := fssga.NewView([]State{Red, Blank})
+	if (automaton{}).Step(Red, v, nil) != Failed {
+		t.Fatal("red seeing red should fail")
+	}
+	v2 := fssga.NewView([]State{Blue})
+	if (automaton{}).Step(Blue, v2, nil) != Failed {
+		t.Fatal("blue seeing blue should fail")
+	}
+}
+
+func TestBothColorsFails(t *testing.T) {
+	v := fssga.NewView([]State{Red, Blue})
+	if (automaton{}).Step(Blank, v, nil) != Failed {
+		t.Fatal("blank seeing both should fail")
+	}
+}
+
+func TestFormalProgramsValid(t *testing.T) {
+	for q, p := range FormalPrograms() {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("program %d invalid: %v", q, err)
+		}
+	}
+}
+
+// The formal mod-thresh programs and the View-based automaton must agree
+// on every (self, neighbour multiset) pair up to size 5.
+func TestFormalMatchesViewAutomaton(t *testing.T) {
+	progs := FormalPrograms()
+	for self := State(0); self < 4; self++ {
+		sm.EnumMultisets(4, 5, func(mu []int) {
+			qs := sm.SeqFromMu(mu)
+			states := make([]State, len(qs))
+			for i, q := range qs {
+				states[i] = State(q)
+			}
+			view := fssga.NewView(states)
+			got := automaton{}.Step(self, view, nil)
+			want := State(progs[self].Eval(qs))
+			if got != want {
+				t.Fatalf("self=%v mu=%v: view=%v formal=%v", self, mu, got, want)
+			}
+		})
+	}
+}
+
+// Running the formal automaton through fssga.FormalAutomaton on a real
+// graph gives the same verdicts as Run.
+func TestFormalAutomatonEndToEnd(t *testing.T) {
+	progs := FormalPrograms()
+	fs := make([]sm.Func, len(progs))
+	for i, p := range progs {
+		fs[i] = p
+	}
+	auto, err := fssga.NewDeterministicFormal(4, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, g := range map[string]*graph.Graph{
+		"even": graph.Cycle(8),
+		"odd":  graph.Cycle(7),
+	} {
+		net := fssga.New[int](g, auto, func(v int) int {
+			if v == 0 {
+				return int(Red)
+			}
+			return int(Blank)
+		}, 1)
+		net.RunSyncUntilQuiescent(200)
+		anyFailed := false
+		for v := 0; v < g.Cap(); v++ {
+			if net.State(v) == int(Failed) {
+				anyFailed = true
+			}
+		}
+		if name == "even" && anyFailed {
+			t.Fatal("formal automaton failed an even cycle")
+		}
+		if name == "odd" && !anyFailed {
+			t.Fatal("formal automaton passed an odd cycle")
+		}
+	}
+}
+
+func TestRunOnTwoNodeGraph(t *testing.T) {
+	g := graph.Path(2)
+	res := Run(g, 0, 20, 1)
+	if !res.Bipartite || res.Colors[0] != Red || res.Colors[1] != Blue {
+		t.Fatalf("P2: %+v", res)
+	}
+}

@@ -1,0 +1,114 @@
+// Package baseline provides the non-FSSGA comparison systems of the
+// paper's fault-tolerance discussion: the spanning-tree-based β
+// synchronizer of Awerbuch, whose sensitivity is Θ(n) (the failure of any
+// internal tree node breaks it — the introduction's canonical fragile
+// algorithm), used by experiments E5 and E13 as the high-sensitivity
+// baseline. The low-level random-walk oracle lives in internal/agent.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// BetaSynchronizer simulates the tree-based β synchronizer: a BFS
+// spanning tree is fixed at start-up; each synchronization pulse is a
+// converge-cast to the root followed by a broadcast back. A pulse
+// succeeds only if the entire tree is still intact — which is exactly why
+// the algorithm's critical-node set is all internal tree nodes.
+type BetaSynchronizer struct {
+	G    *graph.Graph
+	Root int
+	// Parent[v] is v's tree parent (Root for the root itself;
+	// graph.Unreachable for nodes outside the root's component).
+	Parent []int
+	// Pulses counts successful synchronization cycles.
+	Pulses int
+	// Rounds counts simulated message rounds (2×depth per pulse).
+	Rounds int
+	depth  int
+}
+
+// NewBeta builds the synchronizer over g's current topology.
+func NewBeta(g *graph.Graph, root int) (*BetaSynchronizer, error) {
+	if !g.Alive(root) {
+		return nil, fmt.Errorf("baseline: root %d is not live", root)
+	}
+	b := &BetaSynchronizer{G: g, Root: root, Parent: g.SpanningTree(root)}
+	dist := g.BFSDistances(root)
+	for _, d := range dist {
+		if d > b.depth {
+			b.depth = d
+		}
+	}
+	return b, nil
+}
+
+// CriticalNodes returns χ(σ): the internal nodes of the spanning tree
+// (every node that is some other node's parent), plus the root. Their
+// count is Θ(n) on path-like trees.
+func (b *BetaSynchronizer) CriticalNodes() []int {
+	internal := map[int]bool{b.Root: true}
+	for v, p := range b.Parent {
+		if p != graph.Unreachable && v != b.Root {
+			internal[p] = true
+		}
+	}
+	var out []int
+	for v := range internal {
+		out = append(out, v)
+	}
+	insertionSort(out)
+	return out
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}
+
+// TreeIntact reports whether every tree edge and node is still alive.
+func (b *BetaSynchronizer) TreeIntact() bool {
+	if !b.G.Alive(b.Root) {
+		return false
+	}
+	for v, p := range b.Parent {
+		if p == graph.Unreachable || v == b.Root {
+			continue
+		}
+		if !b.G.Alive(v) {
+			continue // a dead leaf no longer needs synchronizing…
+		}
+		if !b.G.HasEdge(v, p) {
+			return false // …but a live node with a dead parent edge is cut off
+		}
+	}
+	return true
+}
+
+// Pulse attempts one synchronization cycle. On success it advances the
+// pulse counter and charges 2×depth rounds; on a broken tree it returns an
+// error — the β synchronizer has no repair mechanism (that fragility is
+// the point of the baseline).
+func (b *BetaSynchronizer) Pulse() error {
+	if !b.TreeIntact() {
+		return fmt.Errorf("baseline: spanning tree broken after %d pulses", b.Pulses)
+	}
+	b.Pulses++
+	b.Rounds += 2 * b.depth
+	return nil
+}
+
+// RunPulses attempts k pulses, returning how many succeeded.
+func (b *BetaSynchronizer) RunPulses(k int) int {
+	for i := 0; i < k; i++ {
+		if b.Pulse() != nil {
+			return i
+		}
+	}
+	return k
+}

@@ -1,0 +1,173 @@
+// Package core is the library's front door: it ties the FSSGA model
+// (internal/fssga, internal/sm) and the paper's algorithm suite
+// (internal/algo/...) into one documented surface, so a caller can build a
+// topology, run any of the Pritchard–Vempala (SPAA 2006) algorithms on it,
+// and inspect the result without importing each subsystem individually.
+//
+// The model itself: every node of an undirected graph runs one copy of the
+// same finite automaton and reads its neighbours only as a multiset
+// (fssga.View), which mechanically enforces the paper's symmetry
+// requirements S0–S2. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the reproduced claims.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/algo/bfs"
+	"repro/internal/algo/bridges"
+	"repro/internal/algo/census"
+	"repro/internal/algo/election"
+	"repro/internal/algo/shortestpath"
+	"repro/internal/algo/traversal"
+	"repro/internal/algo/twocolor"
+	"repro/internal/graph"
+)
+
+// Graph re-exports the topology type used throughout the library.
+type Graph = graph.Graph
+
+// Result is the uniform outcome record returned by the Run* helpers.
+type Result struct {
+	// Algorithm names which algorithm ran.
+	Algorithm string
+	// Rounds is the synchronous rounds (or charged time) consumed.
+	Rounds int
+	// OK is the algorithm's own success verdict.
+	OK bool
+	// Detail is a one-line human-readable summary.
+	Detail string
+}
+
+// RunCensus estimates the node count from every node's perspective
+// (Section 1) and reports the estimate at the smallest live node.
+func RunCensus(g *Graph, seed int64) (Result, error) {
+	cfg := census.Config{Bits: 14, Sketches: 8, Seed: seed}
+	res, err := census.Run(g, cfg, 20*g.NumNodes()+40)
+	if err != nil {
+		return Result{}, err
+	}
+	v := 0
+	for v < g.Cap() && !g.Alive(v) {
+		v++
+	}
+	est := 0.0
+	if v < g.Cap() {
+		est = res.Estimates[v]
+	}
+	return Result{
+		Algorithm: "census",
+		Rounds:    res.Rounds,
+		OK:        res.Converged,
+		Detail:    fmt.Sprintf("estimate %.1f for %d live nodes", est, g.NumNodes()),
+	}, nil
+}
+
+// RunShortestPaths stabilizes distance labels toward the target set
+// (Section 2.2) and verifies them against the BFS oracle.
+func RunShortestPaths(g *Graph, targets []int, seed int64) (Result, error) {
+	res, err := shortestpath.Run(g, targets, 20*g.NumNodes()+40, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	want := g.BFSDistances(targets...)
+	exact := true
+	for v := 0; v < g.Cap(); v++ {
+		if !g.Alive(v) {
+			continue
+		}
+		w := want[v]
+		if w == graph.Unreachable {
+			w = g.NumNodes()
+		}
+		if res.Labels[v] != w {
+			exact = false
+		}
+	}
+	return Result{
+		Algorithm: "shortest-paths",
+		Rounds:    res.Rounds,
+		OK:        res.Converged && exact,
+		Detail:    fmt.Sprintf("labels exact=%v for %d targets", exact, len(targets)),
+	}, nil
+}
+
+// RunTwoColor decides bipartiteness (Section 4.1).
+func RunTwoColor(g *Graph, seed int64) (Result, error) {
+	res := twocolor.Run(g, firstLive(g), 40*g.NumNodes()+40, seed)
+	return Result{
+		Algorithm: "two-colour",
+		Rounds:    res.Rounds,
+		OK:        res.Converged && res.Bipartite == g.IsBipartite(),
+		Detail:    fmt.Sprintf("bipartite=%v (oracle %v)", res.Bipartite, g.IsBipartite()),
+	}, nil
+}
+
+// RunBFS searches from origin for target (Section 4.3).
+func RunBFS(g *Graph, origin, target int, seed int64) (Result, error) {
+	res, err := bfs.Run(g, origin, []int{target}, 40*g.NumNodes()+40, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	reachable := g.BFSDistances(origin)[target] != graph.Unreachable
+	return Result{
+		Algorithm: "bfs",
+		Rounds:    res.Rounds,
+		OK:        res.Converged && res.Found == reachable,
+		Detail:    fmt.Sprintf("found=%v (reachable %v)", res.Found, reachable),
+	}, nil
+}
+
+// RunBridges identifies the bridge set by random walk (Section 2.1).
+func RunBridges(g *Graph, seed int64) (Result, error) {
+	rng := rand.New(rand.NewSource(seed))
+	res := bridges.Run(g, firstLive(g), 4, rng)
+	return Result{
+		Algorithm: "bridges",
+		Rounds:    res.Steps,
+		OK:        res.TrueSet,
+		Detail:    fmt.Sprintf("%d candidate bridges, exact=%v", len(res.Candidates), res.TrueSet),
+	}, nil
+}
+
+// RunTraversal visits every node with Milgram's arm/hand agent
+// (Section 4.5).
+func RunTraversal(g *Graph, seed int64) (Result, error) {
+	tr, err := traversal.NewMilgram(g, firstLive(g), seed)
+	if err != nil {
+		return Result{}, err
+	}
+	rounds, done := tr.Run(40000 * g.NumNodes())
+	return Result{
+		Algorithm: "milgram-traversal",
+		Rounds:    rounds,
+		OK:        done && tr.VisitedCount() == g.NumNodes(),
+		Detail:    fmt.Sprintf("hand moves %d (2n-2 = %d)", tr.HandMoves, 2*g.NumNodes()-2),
+	}, nil
+}
+
+// RunElection elects a unique leader (Section 4.7).
+func RunElection(g *Graph, seed int64) (Result, error) {
+	tr := election.New(g, seed)
+	rounds, ok := tr.Run(100000*g.NumNodes(), 3*g.NumNodes()+10)
+	leader := -1
+	if ls := tr.Leaders(); len(ls) == 1 {
+		leader = ls[0]
+	}
+	return Result{
+		Algorithm: "election",
+		Rounds:    rounds,
+		OK:        ok,
+		Detail:    fmt.Sprintf("leader %d after %d phases", leader, tr.Phases),
+	}, nil
+}
+
+func firstLive(g *Graph) int {
+	for v := 0; v < g.Cap(); v++ {
+		if g.Alive(v) {
+			return v
+		}
+	}
+	return 0
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestRunCensus(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.RandomConnectedGNP(100, 0.05, rng)
+	res, err := RunCensus(g, 1)
+	if err != nil || !res.OK {
+		t.Fatalf("census: %+v err=%v", res, err)
+	}
+	if res.Algorithm != "census" || !strings.Contains(res.Detail, "estimate") {
+		t.Fatalf("bad result record: %+v", res)
+	}
+}
+
+func TestRunShortestPaths(t *testing.T) {
+	g := graph.Grid(6, 6)
+	res, err := RunShortestPaths(g, []int{0, 35}, 1)
+	if err != nil || !res.OK {
+		t.Fatalf("shortest paths: %+v err=%v", res, err)
+	}
+}
+
+func TestRunShortestPathsBadTarget(t *testing.T) {
+	g := graph.Path(4)
+	g.RemoveNode(2)
+	if _, err := RunShortestPaths(g, []int{2}, 1); err == nil {
+		t.Fatal("dead target accepted")
+	}
+}
+
+func TestRunTwoColorBothVerdicts(t *testing.T) {
+	even, err := RunTwoColor(graph.Cycle(8), 1)
+	if err != nil || !even.OK {
+		t.Fatalf("even cycle: %+v", even)
+	}
+	odd, err := RunTwoColor(graph.Cycle(9), 1)
+	if err != nil || !odd.OK {
+		t.Fatalf("odd cycle: %+v", odd)
+	}
+}
+
+func TestRunBFS(t *testing.T) {
+	g := graph.Path(12)
+	res, err := RunBFS(g, 0, 11, 1)
+	if err != nil || !res.OK {
+		t.Fatalf("bfs: %+v err=%v", res, err)
+	}
+	g.RemoveEdge(5, 6)
+	res, err = RunBFS(g, 0, 11, 1)
+	if err != nil || !res.OK {
+		t.Fatalf("bfs unreachable verdict: %+v err=%v", res, err)
+	}
+}
+
+func TestRunBridges(t *testing.T) {
+	res, err := RunBridges(graph.Barbell(4, 1), 1)
+	if err != nil || !res.OK {
+		t.Fatalf("bridges: %+v err=%v", res, err)
+	}
+}
+
+func TestRunTraversal(t *testing.T) {
+	res, err := RunTraversal(graph.Grid(3, 3), 1)
+	if err != nil || !res.OK {
+		t.Fatalf("traversal: %+v err=%v", res, err)
+	}
+}
+
+func TestRunElection(t *testing.T) {
+	res, err := RunElection(graph.Cycle(8), 1)
+	if err != nil || !res.OK {
+		t.Fatalf("election: %+v err=%v", res, err)
+	}
+	if !strings.Contains(res.Detail, "leader") {
+		t.Fatalf("detail = %q", res.Detail)
+	}
+}
+
+// The facade works on a network that has already suffered faults.
+func TestFacadeAfterFaults(t *testing.T) {
+	g := graph.Torus(4, 4)
+	g.RemoveNode(5)
+	g.RemoveEdge(0, 1)
+	for _, run := range []func() (Result, error){
+		func() (Result, error) { return RunCensus(g.Clone(), 3) },
+		func() (Result, error) { return RunShortestPaths(g.Clone(), []int{0}, 3) },
+		func() (Result, error) { return RunTwoColor(g.Clone(), 3) },
+	} {
+		res, err := run()
+		if err != nil || !res.OK {
+			t.Fatalf("faulted facade run: %+v err=%v", res, err)
+		}
+	}
+}

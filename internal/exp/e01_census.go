@@ -1,0 +1,167 @@
+package exp
+
+import (
+	"math/rand"
+
+	"repro/internal/algo/census"
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// E1Census reproduces the Section 1 claims about the Flajolet–Martin
+// census: with k >= log2 n bits the common estimate is within a factor of
+// 2 of n with high probability; under non-disconnecting edge faults
+// nothing changes; and when the graph splits, each surviving component's
+// estimate lies in [|G'|/2, 2|G0|].
+func E1Census(opts Options) *Table {
+	t := &Table{
+		ID:    "E1",
+		Title: "Flajolet–Martin census accuracy",
+		Claim: "estimate within factor 2 of n whp; under splits within [|G'|/2, 2|G0|]",
+		Columns: []string{"n", "graph", "faults", "median est", "min", "max",
+			"frac within 2x", "rounds<=diam+1"},
+	}
+	sizes := []int{64, 128, 256, 512}
+	trials := 40
+	if opts.Quick {
+		sizes = []int{64, 128}
+		trials = 10
+	}
+	cfg := func(seed int64) census.Config {
+		return census.Config{Bits: 14, Sketches: 8, Seed: seed}
+	}
+
+	type workload struct {
+		name  string
+		build func(n int, rng *rand.Rand) *graph.Graph
+	}
+	workloads := []workload{
+		{"gnp", func(n int, rng *rand.Rand) *graph.Graph {
+			return graph.RandomConnectedGNP(n, 4.0/float64(n), rng)
+		}},
+		{"torus", func(n int, rng *rand.Rand) *graph.Graph {
+			side := intSqrt(n)
+			return graph.Torus(side, side)
+		}},
+	}
+
+	for _, n := range sizes {
+		for _, wl := range workloads {
+			var ests []float64
+			within := 0
+			roundsOK := true
+			for i := 0; i < trials; i++ {
+				rng := rand.New(rand.NewSource(opts.Seed + int64(i)*31 + int64(n)))
+				g := wl.build(n, rng)
+				nLive := float64(g.NumNodes())
+				diam := g.Diameter()
+				res, err := census.Run(g, cfg(opts.Seed+int64(i)), 10*n)
+				if err != nil {
+					continue
+				}
+				est := res.Estimates[firstLive(g)]
+				ests = append(ests, est)
+				if est >= nLive/2 && est <= 2*nLive {
+					within++
+				}
+				if res.Rounds > diam+1 {
+					roundsOK = false
+				}
+			}
+			s := stats.Summarize(ests)
+			t.AddRow(n, wl.name, "none", s.Median, s.Min, s.Max,
+				float64(within)/float64(trials), roundsOK)
+		}
+
+		// Edge-fault variant: kill 10% of edges (never bridges), estimates
+		// must be unaffected in distribution.
+		var ests []float64
+		within := 0
+		for i := 0; i < trials; i++ {
+			rng := rand.New(rand.NewSource(opts.Seed + int64(i)*77 + int64(n)))
+			g := graph.RandomConnectedGNP(n, 6.0/float64(n), rng)
+			c := cfg(opts.Seed + int64(i))
+			net, err := census.NewNetwork(g, c)
+			if err != nil {
+				continue
+			}
+			killNonBridges(g, g.NumEdges()/10, rng, net.SyncRound)
+			net.RunSyncUntilQuiescent(10 * n)
+			est := census.Estimate(net.State(firstLive(g)), c)
+			ests = append(ests, est)
+			if est >= float64(g.NumNodes())/2 && est <= 2*float64(n) {
+				within++
+			}
+		}
+		s := stats.Summarize(ests)
+		t.AddRow(n, "gnp", "10% edges", s.Median, s.Min, s.Max,
+			float64(within)/float64(trials), true)
+	}
+
+	// Split variant: cut the barbell bridge; each half's estimate must lie
+	// in [|G'|/2, 2|G0|] (with the estimator's own whp slack).
+	splitTrials := trials
+	withinSplit := 0
+	for i := 0; i < splitTrials; i++ {
+		g := graph.Barbell(64, 1)
+		n0 := g.NumNodes()
+		c := cfg(opts.Seed + int64(i)*13)
+		net, err := census.NewNetwork(g, c)
+		if err != nil {
+			continue
+		}
+		net.SyncRound()
+		g.RemoveEdge(63, 64)
+		net.RunSyncUntilQuiescent(10 * n0)
+		est := census.Estimate(net.State(0), c)
+		comp := float64(len(g.ComponentOf(0)))
+		if est >= comp/2 && est <= 2*float64(n0) {
+			withinSplit++
+		}
+	}
+	t.Note("barbell split: %d/%d runs had component estimate in [|G'|/2, 2|G0|]",
+		withinSplit, splitTrials)
+	return t
+}
+
+func firstLive(g *graph.Graph) int {
+	for v := 0; v < g.Cap(); v++ {
+		if g.Alive(v) {
+			return v
+		}
+	}
+	return 0
+}
+
+func intSqrt(n int) int {
+	s := 1
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}
+
+// killNonBridges removes up to k non-bridge edges, running betweenRounds
+// after each removal to interleave faults with computation.
+func killNonBridges(g *graph.Graph, k int, rng *rand.Rand, betweenRounds func()) {
+	for i := 0; i < k; i++ {
+		bridges := map[graph.Edge]bool{}
+		for _, b := range g.Bridges() {
+			bridges[b] = true
+		}
+		edges := g.Edges()
+		rng.Shuffle(len(edges), func(a, b int) { edges[a], edges[b] = edges[b], edges[a] })
+		removed := false
+		for _, e := range edges {
+			if !bridges[e] {
+				g.RemoveEdge(e.U, e.V)
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return
+		}
+		betweenRounds()
+	}
+}

@@ -1,0 +1,135 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/algo/bridges"
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// E2Bridges reproduces Claim 2.1 and the Section 2.1 bridge-finding
+// guarantees: a non-bridge counter exceeds ±1 within expected O(mn) steps
+// (measured both on the direct process and on the proof's 3n+1-node
+// product graph), bridge counters never leave {-1, 0, 1}, and after
+// O(c·mn·log n) steps the surviving candidate set equals the true bridge
+// set.
+func E2Bridges(opts Options) *Table {
+	t := &Table{
+		ID:    "E2",
+		Title: "Random-walk bridge finding (Claim 2.1)",
+		Claim: "non-bridge exceed time = O(mn); bridges never exceed; full ID in O(c·mn·log n) steps",
+		Columns: []string{"graph", "n", "m", "mn", "mean exceed steps",
+			"steps/mn", "product-graph mean", "ID success"},
+	}
+	sizes := []int{8, 16, 32}
+	trials := 30
+	if opts.Quick {
+		sizes = []int{8, 16}
+		trials = 10
+	}
+
+	for _, n := range sizes {
+		// Workload: cycle with chords — bridgeless, sparse, tunable.
+		rng := rand.New(rand.NewSource(opts.Seed + int64(n)))
+		g := graph.CycleWithChords(n, n/4, rng)
+		m := g.NumEdges()
+		mn := float64(m * n)
+
+		// Direct process: steps until the counter of a fixed non-bridge
+		// exceeds.
+		var direct []float64
+		for i := 0; i < trials; i++ {
+			r := rand.New(rand.NewSource(opts.Seed + int64(i)*101))
+			s, ok := bridges.StepsToExceed(g, 0, 0, 1, int(4000*mn), r)
+			if ok {
+				direct = append(direct, float64(s))
+			}
+		}
+
+		// Product-graph process: hitting time to EXCEEDED (same law).
+		pg, exceeded, err := bridges.ProductGraph(g, 0, 1)
+		var product []float64
+		if err == nil {
+			start := (0+1)*g.Cap() + 0 // v1^0
+			for i := 0; i < trials; i++ {
+				r := rand.New(rand.NewSource(opts.Seed + int64(i)*211))
+				s, ok := hittingTime(pg, start, exceeded, int(4000*mn), r)
+				if ok {
+					product = append(product, float64(s))
+				}
+			}
+		}
+
+		// Identification success at c = 4.
+		success := 0
+		for i := 0; i < trials; i++ {
+			r := rand.New(rand.NewSource(opts.Seed + int64(i)*331))
+			if bridges.Run(g, 0, 4, r).TrueSet {
+				success++
+			}
+		}
+
+		meanD := stats.Mean(direct)
+		meanP := stats.Mean(product)
+		t.AddRow("cycle+chords", n, m, mn, meanD, meanD/mn, meanP,
+			fracStr(success, trials))
+	}
+
+	// Bridge workloads: counters stay bounded, candidates = true bridges.
+	for _, n := range sizes {
+		g := graph.Barbell(n/2, 2)
+		m := g.NumEdges()
+		success := 0
+		for i := 0; i < trials; i++ {
+			r := rand.New(rand.NewSource(opts.Seed + int64(i)*443))
+			if bridges.Run(g, 0, 4, r).TrueSet {
+				success++
+			}
+		}
+		t.AddRow("barbell", g.NumNodes(), m, float64(m*g.NumNodes()), "-", "-", "-",
+			fracStr(success, trials))
+	}
+
+	// Scaling fit: mean exceed time vs mn on a size sweep.
+	var xs, ys []float64
+	for _, n := range sizes {
+		rng := rand.New(rand.NewSource(opts.Seed + int64(n)*7))
+		g := graph.CycleWithChords(n, n/4, rng)
+		mn := float64(g.NumEdges() * n)
+		var steps []float64
+		for i := 0; i < trials; i++ {
+			r := rand.New(rand.NewSource(opts.Seed + int64(i)*577))
+			s, ok := bridges.StepsToExceed(g, 0, 0, 1, int(4000*mn), r)
+			if ok {
+				steps = append(steps, float64(s))
+			}
+		}
+		xs = append(xs, mn)
+		ys = append(ys, stats.Mean(steps))
+	}
+	fit := stats.LogLogFit(xs, ys)
+	t.Note("log-log fit of exceed steps vs mn: slope %.2f (O(mn) predicts <= 1), R2 %.2f",
+		fit.Slope, fit.R2)
+	return t
+}
+
+func hittingTime(g *graph.Graph, from, to, maxSteps int, rng *rand.Rand) (int, bool) {
+	pos := from
+	for s := 0; s < maxSteps; s++ {
+		if pos == to {
+			return s, true
+		}
+		ns := g.NeighborsSorted(pos)
+		if len(ns) == 0 {
+			return s, false
+		}
+		pos = ns[rng.Intn(len(ns))]
+	}
+	return maxSteps, pos == to
+}
+
+func fracStr(num, den int) string {
+	return fmt.Sprintf("%d/%d", num, den)
+}

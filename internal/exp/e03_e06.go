@@ -1,0 +1,296 @@
+package exp
+
+import (
+	"math/rand"
+
+	"repro/internal/algo/bfs"
+	"repro/internal/algo/shortestpath"
+	"repro/internal/algo/synchronizer"
+	"repro/internal/algo/twocolor"
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// E3ShortestPath reproduces Section 2.2: labels stabilize to true
+// distances within max-distance rounds, and the algorithm is 0-sensitive —
+// after arbitrary benign faults it restabilizes to the new distances.
+func E3ShortestPath(opts Options) *Table {
+	t := &Table{
+		ID:      "E3",
+		Title:   "Distance-to-T clustering (Section 2.2)",
+		Claim:   "label(v) stabilizes at dist(v, T) within dist rounds; 0-sensitive",
+		Columns: []string{"graph", "n", "sinks", "rounds", "max dist", "exact labels", "faulted restab", "exact after faults"},
+	}
+	type wl struct {
+		name  string
+		build func() *graph.Graph
+		sinks []int
+	}
+	wls := []wl{
+		{"path", func() *graph.Graph { return graph.Path(100) }, []int{0}},
+		{"grid", func() *graph.Graph { return graph.Grid(12, 12) }, []int{0}},
+		{"grid-2sink", func() *graph.Graph { return graph.Grid(12, 12) }, []int{0, 143}},
+		{"gnp", func() *graph.Graph {
+			rng := rand.New(rand.NewSource(opts.Seed))
+			return graph.RandomConnectedGNP(150, 0.03, rng)
+		}, []int{0}},
+	}
+	if opts.Quick {
+		wls = wls[:2]
+	}
+	for _, w := range wls {
+		g := w.build()
+		n := g.NumNodes()
+		res, err := shortestpath.Run(g, w.sinks, 20*n, opts.Seed)
+		if err != nil {
+			continue
+		}
+		want := g.BFSDistances(w.sinks...)
+		exact := labelsMatch(g, res.Labels, want, n)
+		maxD := 0
+		for _, d := range want {
+			if d > maxD {
+				maxD = d
+			}
+		}
+
+		// Fault phase: remove a batch of edges/nodes (not sinks), rerun to
+		// quiescence, compare against new distances.
+		rng := rand.New(rand.NewSource(opts.Seed + 5))
+		net, err := shortestpath.NewNetwork(g, w.sinks, n, opts.Seed)
+		if err != nil {
+			continue
+		}
+		net.RunSyncUntilQuiescent(20 * n)
+		killNonBridges(g, 3, rng, net.SyncRound)
+		restab, ok := net.RunSyncUntilQuiescent(20 * n)
+		want2 := g.BFSDistances(w.sinks...)
+		exact2 := ok
+		for v := 0; v < g.Cap(); v++ {
+			if !g.Alive(v) {
+				continue
+			}
+			w2 := want2[v]
+			if w2 == graph.Unreachable {
+				w2 = n
+			}
+			if net.State(v).Label != w2 {
+				exact2 = false
+			}
+		}
+		t.AddRow(w.name, n, len(w.sinks), res.Rounds, maxD, exact, restab, exact2)
+	}
+	t.Note("rounds column must be <= max dist + 1 (one extra round to observe quiescence)")
+	return t
+}
+
+func labelsMatch(g *graph.Graph, got, want []int, cap int) bool {
+	for v := 0; v < g.Cap(); v++ {
+		if !g.Alive(v) {
+			continue
+		}
+		w := want[v]
+		if w == graph.Unreachable {
+			w = cap
+		}
+		if got[v] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// E4TwoColor reproduces Section 4.1: the 2-colouring automaton succeeds
+// exactly on bipartite graphs.
+func E4TwoColor(opts Options) *Table {
+	t := &Table{
+		ID:      "E4",
+		Title:   "2-colouring / bipartiteness (Section 4.1)",
+		Claim:   "FAILED floods iff the graph is not bipartite",
+		Columns: []string{"family", "n", "bipartite", "verdict ok", "rounds"},
+	}
+	type wl struct {
+		family string
+		build  func(n int, rng *rand.Rand) *graph.Graph
+	}
+	wls := []wl{
+		{"even-cycle", func(n int, _ *rand.Rand) *graph.Graph { return graph.Cycle(2 * (n / 2)) }},
+		{"odd-cycle", func(n int, _ *rand.Rand) *graph.Graph { return graph.Cycle(2*(n/2) + 1) }},
+		{"grid", func(n int, _ *rand.Rand) *graph.Graph { return graph.Grid(intSqrt(n), intSqrt(n)) }},
+		{"hypercube", func(n int, _ *rand.Rand) *graph.Graph { return graph.Hypercube(log2int(n)) }},
+		{"random-bipartite", func(n int, rng *rand.Rand) *graph.Graph {
+			return graph.RandomBipartite(n/2, n/2, 0.2, rng)
+		}},
+		{"gnp", func(n int, rng *rand.Rand) *graph.Graph {
+			return graph.RandomConnectedGNP(n, 3.0/float64(n), rng)
+		}},
+	}
+	sizes := []int{16, 64, 144}
+	trials := 10
+	if opts.Quick {
+		sizes = []int{16, 64}
+		trials = 4
+	}
+	for _, w := range wls {
+		for _, n := range sizes {
+			ok := 0
+			var rounds []float64
+			bip := false
+			for i := 0; i < trials; i++ {
+				rng := rand.New(rand.NewSource(opts.Seed + int64(i)*17))
+				g := w.build(n, rng)
+				bip = g.IsBipartite()
+				res := twocolor.Run(g, 0, 40*g.NumNodes(), opts.Seed+int64(i))
+				if res.Converged && res.Bipartite == bip {
+					ok++
+				}
+				rounds = append(rounds, float64(res.Rounds))
+			}
+			t.AddRow(w.family, n, bip, fracStr(ok, trials), stats.Mean(rounds))
+		}
+	}
+	return t
+}
+
+func log2int(n int) int {
+	b := 0
+	for v := n; v > 1; v >>= 1 {
+		b++
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// E5Synchronizer reproduces Section 4.2: under any fair asynchronous
+// schedule, adjacent tick counts differ by at most one and k time units
+// yield at least k ticks everywhere; and the wrapped execution equals the
+// synchronous one.
+func E5Synchronizer(opts Options) *Table {
+	t := &Table{
+		ID:      "E5",
+		Title:   "α synchronizer (Section 4.2)",
+		Claim:   "adjacent ticks within ±1; k fair units ⇒ ≥k ticks; simulates synchronous run exactly",
+		Columns: []string{"graph", "n", "units", "min ticks", "skew ok", "sim exact"},
+	}
+	type wl struct {
+		name  string
+		build func() *graph.Graph
+	}
+	wls := []wl{
+		{"path", func() *graph.Graph { return graph.Path(40) }},
+		{"grid", func() *graph.Graph { return graph.Grid(8, 8) }},
+		{"gnp", func() *graph.Graph {
+			rng := rand.New(rand.NewSource(opts.Seed))
+			return graph.RandomConnectedGNP(60, 0.08, rng)
+		}},
+	}
+	units := 40
+	if opts.Quick {
+		units = 15
+		wls = wls[:2]
+	}
+	for _, w := range wls {
+		g := w.build()
+		n := g.NumNodes()
+		rng := rand.New(rand.NewSource(opts.Seed + 3))
+
+		// Reference synchronous run of the max-spread automaton.
+		ref := newMaxNet(g.Clone(), opts.Seed)
+		refHist := make([][]int, g.Cap())
+		for r := 0; r < units; r++ {
+			ref.SyncRound()
+			for v := 0; v < g.Cap(); v++ {
+				refHist[v] = append(refHist[v], ref.State(v))
+			}
+		}
+
+		net := newWrappedMaxNet(g, opts.Seed)
+		tr := synchronizer.NewTracker(net)
+		skewOK := true
+		ticksOK := true
+		for k := 1; k <= units; k++ {
+			tr.RunUnits(1, rng)
+			if !tr.SkewOK() {
+				skewOK = false
+			}
+			if tr.MinTicks() < k {
+				ticksOK = false
+			}
+		}
+		simExact := true
+		for v := 0; v < g.Cap(); v++ {
+			for k := 0; k < len(tr.History[v]) && k < units; k++ {
+				if tr.History[v][k] != refHist[v][k] {
+					simExact = false
+				}
+			}
+		}
+		t.AddRow(w.name, n, units, tr.MinTicks(), skewOK && ticksOK, simExact)
+	}
+	return t
+}
+
+// E6BFS reproduces Section 4.3: labels are distances mod 3; found/failed
+// verdicts are exact; total time ~ 2·dist (out and back).
+func E6BFS(opts Options) *Table {
+	t := &Table{
+		ID:      "E6",
+		Title:   "Breadth-first search (Algorithm 4.1)",
+		Claim:   "labels = dist mod 3; found iff target reachable; ~2·dist rounds",
+		Columns: []string{"graph", "n", "target", "labels ok", "verdict ok", "rounds", "2*dist+2"},
+	}
+	type wl struct {
+		name      string
+		build     func() *graph.Graph
+		origin    int
+		target    int
+		reachable bool
+	}
+	wls := []wl{
+		{"path-far", func() *graph.Graph { return graph.Path(60) }, 0, 59, true},
+		{"grid", func() *graph.Graph { return graph.Grid(10, 10) }, 0, 99, true},
+		{"cut-path", func() *graph.Graph {
+			g := graph.Path(40)
+			g.RemoveEdge(20, 21)
+			return g
+		}, 0, 39, false},
+		{"gnp", func() *graph.Graph {
+			rng := rand.New(rand.NewSource(opts.Seed + 9))
+			return graph.RandomConnectedGNP(80, 0.05, rng)
+		}, 0, 79, true},
+	}
+	if opts.Quick {
+		wls = wls[:2]
+	}
+	for _, w := range wls {
+		g := w.build()
+		n := g.NumNodes()
+		dist := g.BFSDistances(w.origin)
+		res, err := bfs.Run(g, w.origin, []int{w.target}, 40*n, opts.Seed)
+		if err != nil {
+			continue
+		}
+		labelsOK := true
+		for v := 0; v < g.Cap(); v++ {
+			if !g.Alive(v) {
+				continue
+			}
+			want := bfs.NoLabel
+			if dist[v] != graph.Unreachable {
+				want = int8(dist[v] % 3)
+			}
+			if res.Labels[v] != want {
+				labelsOK = false
+			}
+		}
+		verdictOK := res.Found == w.reachable
+		bound := "-"
+		if w.reachable {
+			bound = itoaSimple(2*dist[w.target] + 2)
+		}
+		t.AddRow(w.name, n, w.target, labelsOK, verdictOK, res.Rounds, bound)
+	}
+	return t
+}

@@ -1,0 +1,223 @@
+package exp
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/agent"
+	"repro/internal/algo/randomwalk"
+	"repro/internal/algo/traversal"
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// E7RandomWalk reproduces Section 4.4: the walker moves from a degree-d
+// node after an expected Θ(log d) tournament rounds, and the induced walk
+// law equals the uniform random walk (compared via hitting times against
+// the direct internal/agent walker).
+func E7RandomWalk(opts Options) *Table {
+	t := &Table{
+		ID:      "E7",
+		Title:   "FSSGA random walk (Algorithm 4.2)",
+		Claim:   "E[rounds per move] = Θ(log d); induced law = uniform random walk",
+		Columns: []string{"degree d", "mean rounds/move", "rounds / log2(d)", "trials"},
+	}
+	degrees := []int{2, 8, 32, 128, 512}
+	trials := 30
+	if opts.Quick {
+		degrees = []int{2, 8, 32}
+		trials = 10
+	}
+	var xs, ys []float64
+	for _, d := range degrees {
+		var rounds []float64
+		for i := 0; i < trials; i++ {
+			g := graph.Star(d + 1)
+			tr, err := randomwalk.New(g, 0, opts.Seed+int64(i)*59)
+			if err != nil {
+				continue
+			}
+			if _, ok := tr.RunMoves(1, 1000000); ok {
+				rounds = append(rounds, float64(tr.MoveRounds[0]))
+			}
+		}
+		mean := stats.Mean(rounds)
+		t.AddRow(d, mean, mean/math.Log2(float64(d)+1), len(rounds))
+		xs = append(xs, float64(d))
+		ys = append(ys, mean)
+	}
+	fit := stats.SemiLogXFit(xs, ys)
+	t.Note("semilog fit rounds = %.2f·ln(d) + %.2f, R2 %.2f (Θ(log d) predicts a line)",
+		fit.Slope, fit.Intercept, fit.R2)
+	llf := stats.LogLogFit(xs, ys)
+	t.Note("log-log slope %.2f (linear-in-d would be 1.0)", llf.Slope)
+
+	// Walk-law comparison: hitting time 0 -> n/2 on a cycle, FSSGA walker
+	// moves vs direct walker steps.
+	n := 16
+	lawTrials := trials
+	var fssgaMoves, directSteps []float64
+	for i := 0; i < lawTrials; i++ {
+		g := graph.Cycle(n)
+		tr, err := randomwalk.New(g, 0, opts.Seed+int64(i)*97)
+		if err != nil {
+			continue
+		}
+		for tr.Pos != n/2 {
+			if _, ok := tr.RunMoves(1, 1000000); !ok {
+				break
+			}
+		}
+		fssgaMoves = append(fssgaMoves, float64(tr.Moves))
+
+		r := rand.New(rand.NewSource(opts.Seed + int64(i)*89))
+		s, ok := agent.HittingTime(graph.Cycle(n), 0, n/2, 10000000, r)
+		if ok {
+			directSteps = append(directSteps, float64(s))
+		}
+	}
+	mf, md := stats.Mean(fssgaMoves), stats.Mean(directSteps)
+	t.Note("hitting time 0→n/2 on C%d: FSSGA %.1f moves vs direct %.1f steps (ratio %.2f; equal laws ⇒ ≈1)",
+		n, mf, md, mf/md)
+	ks := stats.KSStatistic(fssgaMoves, directSteps)
+	t.Note("two-sample KS statistic %.3f vs 5%% threshold %.3f (equal laws ⇒ below)",
+		ks, stats.KSThreshold(len(fssgaMoves), len(directSteps), 0.05))
+	return t
+}
+
+// E8Milgram reproduces Section 4.5: the hand moves exactly 2n−2 times, the
+// arm stays an induced path, and total time is O(n log n).
+func E8Milgram(opts Options) *Table {
+	t := &Table{
+		ID:      "E8",
+		Title:   "Milgram traversal (Algorithm 4.3)",
+		Claim:   "hand moves exactly 2n−2 times; total time O(n log n)",
+		Columns: []string{"graph", "n", "hand moves", "2n-2", "mean rounds", "rounds/(n·log2 n)"},
+	}
+	sizes := []int{9, 16, 36, 64}
+	trials := 8
+	if opts.Quick {
+		sizes = []int{9, 16}
+		trials = 3
+	}
+	var xs, ys []float64
+	for _, n := range sizes {
+		side := intSqrt(n)
+		var rounds []float64
+		moves := -1
+		for i := 0; i < trials; i++ {
+			g := graph.Grid(side, side)
+			tr, err := traversal.NewMilgram(g, 0, opts.Seed+int64(i)*41)
+			if err != nil {
+				continue
+			}
+			if _, done := tr.Run(40000 * n); !done {
+				continue
+			}
+			rounds = append(rounds, float64(tr.Rounds))
+			moves = tr.HandMoves
+		}
+		nn := side * side
+		mean := stats.Mean(rounds)
+		t.AddRow("grid", nn, moves, 2*nn-2, mean, mean/(float64(nn)*math.Log2(float64(nn))))
+		xs = append(xs, float64(nn))
+		ys = append(ys, mean)
+	}
+	fit := stats.LogLogFit(xs, ys)
+	t.Note("log-log slope of rounds vs n: %.2f (n·log n predicts ≈1.0–1.2)", fit.Slope)
+	return t
+}
+
+// E9Tourist reproduces Section 4.6: the greedy tourist completes in
+// O(n log² n) charged rounds with sensitivity 1, versus Milgram's Θ(n)
+// sensitivity under identical fault schedules.
+func E9Tourist(opts Options) *Table {
+	t := &Table{
+		ID:      "E9",
+		Title:   "Greedy tourist (Section 4.6) and sensitivity comparison",
+		Claim:   "traversal in O(n log² n); sensitivity 1 vs Milgram's Θ(n)",
+		Columns: []string{"graph", "n", "mean moves", "moves/(n·log2 n)", "mean rounds", "rounds/(n·log2² n)"},
+	}
+	sizes := []int{16, 36, 64, 100}
+	trials := 8
+	if opts.Quick {
+		sizes = []int{16, 36}
+		trials = 3
+	}
+	var xs, ys []float64
+	for _, n := range sizes {
+		side := intSqrt(n)
+		var moves, rounds []float64
+		for i := 0; i < trials; i++ {
+			g := graph.Grid(side, side)
+			tr, err := traversal.NewTourist(g, 0, opts.Seed+int64(i)*43)
+			if err != nil {
+				continue
+			}
+			if !tr.Run(200 * n) {
+				continue
+			}
+			moves = append(moves, float64(tr.Moves))
+			rounds = append(rounds, float64(tr.Rounds))
+		}
+		nn := float64(side * side)
+		lg := math.Log2(nn)
+		t.AddRow("grid", side*side, stats.Mean(moves), stats.Mean(moves)/(nn*lg),
+			stats.Mean(rounds), stats.Mean(rounds)/(nn*lg*lg))
+		xs = append(xs, nn)
+		ys = append(ys, stats.Mean(rounds))
+	}
+	fit := stats.LogLogFit(xs, ys)
+	t.Note("log-log slope of rounds vs n: %.2f (n·log² n predicts ≈1.0–1.3)", fit.Slope)
+
+	// Fault comparison: run Milgram until its arm has grown, then kill an
+	// interior ARM node — a critical fault for Milgram's Θ(n)-sized χ but
+	// a perfectly ordinary fault for the tourist, whose χ is just the
+	// agent. The same victim is applied to both algorithms.
+	faultTrials := 3 * trials
+	touristOK, milgramOK := 0, 0
+	attempts := 0
+	for i := 0; i < faultTrials; i++ {
+		gM := graph.Torus(4, 4)
+		mt, err := traversal.NewMilgram(gM, 0, opts.Seed+int64(i))
+		if err != nil {
+			continue
+		}
+		// Grow the arm, then pick an interior arm node as the victim.
+		victim := -1
+		for r := 0; r < 4000 && victim == -1; r++ {
+			mt.Round()
+			for v := 1; v < gM.Cap(); v++ {
+				if mt.Net.State(v).Status == traversal.Arm && v != mt.HandPos {
+					victim = v
+				}
+			}
+		}
+		if victim == -1 {
+			continue // arm never grew past the originator for this seed
+		}
+		attempts++
+		gM.RemoveNode(victim)
+		if _, done := mt.Run(400000); done && mt.VisitedCount() == gM.NumNodes() {
+			milgramOK++
+		}
+
+		gT := graph.Torus(4, 4)
+		tr, err := traversal.NewTourist(gT, 0, opts.Seed+int64(i))
+		if err != nil {
+			continue
+		}
+		for m := 0; m < 3; m++ {
+			tr.MoveOnce(200)
+		}
+		if victim != tr.Pos {
+			gT.RemoveNode(victim)
+		}
+		if tr.Run(4000) {
+			touristOK++
+		}
+	}
+	t.Note("arm-node fault on a 4x4 torus: tourist finished %d/%d, Milgram %d/%d (the fault is critical only for Milgram's χ)",
+		touristOK, attempts, milgramOK, attempts)
+	return t
+}

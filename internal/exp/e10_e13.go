@@ -1,0 +1,332 @@
+package exp
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/algo/election"
+	"repro/internal/fssga"
+	"repro/internal/graph"
+	"repro/internal/iwa"
+	"repro/internal/sensitivity"
+	"repro/internal/sm"
+	"repro/internal/stats"
+)
+
+// E10Election reproduces Section 4.7 / Claims 4.1–4.2: exactly one stable
+// leader whp; Θ(log n) phases; O(n log n) total rounds; per-phase
+// elimination of a constant fraction of remainers.
+func E10Election(opts Options) *Table {
+	t := &Table{
+		ID:    "E10",
+		Title: "Randomized leader election (Algorithm 4.4)",
+		Claim: "unique leader whp in O(n log n) rounds over Θ(log n) phases; ≥1/4 elimination/phase",
+		Columns: []string{"graph", "n", "elected", "mean rounds", "rounds/(n·log2 n)",
+			"mean phases", "phases/log2 n", "mean elim frac"},
+	}
+	type wl struct {
+		name  string
+		build func(n int) *graph.Graph
+	}
+	wls := []wl{
+		{"cycle", func(n int) *graph.Graph { return graph.Cycle(n) }},
+		{"grid", func(n int) *graph.Graph { s := intSqrt(n); return graph.Grid(s, s) }},
+		{"gnp", func(n int) *graph.Graph {
+			rng := rand.New(rand.NewSource(opts.Seed + int64(n)))
+			return graph.RandomConnectedGNP(n, 4.0/float64(n), rng)
+		}},
+	}
+	sizes := []int{8, 16, 32, 64}
+	trials := 6
+	if opts.Quick {
+		sizes = []int{8, 16}
+		trials = 3
+	}
+	var xs, ys, pxs, pys []float64
+	for _, w := range wls {
+		for _, n := range sizes {
+			elected := 0
+			var rounds, phases, elim []float64
+			for i := 0; i < trials; i++ {
+				g := w.build(n)
+				nn := g.NumNodes()
+				tr := election.New(g, opts.Seed+int64(i)*71)
+				// Budget ~10x the typical completion time; runs that
+				// exceed it are counted (honestly) as not elected.
+				if _, ok := tr.Run(300*nn*log2int(nn), 3*nn+10); !ok {
+					continue
+				}
+				elected++
+				rounds = append(rounds, float64(tr.Rounds))
+				phases = append(phases, float64(tr.Phases))
+				// Mean per-phase elimination fraction while >1 remained.
+				hist := tr.RemainingPerPhase
+				var fracs []float64
+				for j := 0; j+1 < len(hist) && hist[j] > 1; j++ {
+					fracs = append(fracs, float64(hist[j]-hist[j+1])/float64(hist[j]))
+				}
+				if len(fracs) > 0 {
+					elim = append(elim, stats.Mean(fracs))
+				}
+			}
+			if len(rounds) == 0 {
+				t.AddRow(w.name, n, fracStr(0, trials), "-", "-", "-", "-", "-")
+				continue
+			}
+			nn := float64(n)
+			lg := math.Log2(nn)
+			mr, mp := stats.Mean(rounds), stats.Mean(phases)
+			me := 0.0
+			if len(elim) > 0 {
+				me = stats.Mean(elim)
+			}
+			t.AddRow(w.name, n, fracStr(elected, trials), mr, mr/(nn*lg), mp, mp/lg, me)
+			if w.name == "cycle" {
+				xs = append(xs, nn)
+				ys = append(ys, mr)
+				pxs = append(pxs, nn)
+				pys = append(pys, mp)
+			}
+		}
+	}
+	if len(xs) >= 2 {
+		fit := stats.LogLogFit(xs, ys)
+		t.Note("cycle rounds vs n log-log slope %.2f (n·log n predicts ≈1.0–1.3)", fit.Slope)
+		pfit := stats.LogLogFit(pxs, pys)
+		t.Note("cycle phases vs n log-log slope %.2f (Θ(log n) predicts ≈0–0.5)", pfit.Slope)
+	}
+
+	// Ablation (DESIGN.md #4): disable the uniqueness-verification
+	// channels and count runs ending with multiple leaders/remainers.
+	ablTrials := 2 * trials
+	ablBad := 0
+	for i := 0; i < ablTrials; i++ {
+		g := graph.Cycle(8)
+		tr := election.NewWithoutVerification(g, opts.Seed+int64(i)*17)
+		tr.Run(40000*8, 34)
+		if len(tr.Leaders()) > 1 || tr.Remaining() > 1 {
+			ablBad++
+		}
+	}
+	t.Note("ablation (no colour/agent verification): %d/%d runs ended with duplicate leaders or multiple remainers (full algorithm: 0)",
+		ablBad, ablTrials)
+	return t
+}
+
+// E11Conversions reproduces Theorem 3.7: the three program models compute
+// the same class, with constructive conversions whose size blowup is
+// measured (the paper notes it can be exponential).
+func E11Conversions(opts Options) *Table {
+	t := &Table{
+		ID:    "E11",
+		Title: "Sequential ≡ Parallel ≡ Mod-Thresh (Theorem 3.7)",
+		Claim: "all three classes equal; conversions may blow up program size exponentially",
+		Columns: []string{"source", "|Q|", "src size", "→mod-thresh", "→parallel",
+			"→sequential", "equiv ok"},
+	}
+	trials := 20
+	if opts.Quick {
+		trials = 8
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	okAll := 0
+	for i := 0; i < trials; i++ {
+		numQ := 1 + rng.Intn(2)
+		s0 := sm.RandomCounterSequential(numQ, 2+rng.Intn(2), 3, 2, rng)
+		mt, err := sm.SequentialToModThresh(s0)
+		if err != nil {
+			continue
+		}
+		par, err := sm.ModThreshToParallel(mt)
+		if err != nil {
+			continue
+		}
+		s1, err := sm.ParallelToSequential(par)
+		if err != nil {
+			continue
+		}
+		equiv := sm.Equivalent(s0, mt, numQ, 5) == nil &&
+			sm.Equivalent(mt, par, numQ, 5) == nil &&
+			sm.Equivalent(par, s1, numQ, 5) == nil
+		if equiv {
+			okAll++
+		}
+		if i < 6 {
+			t.AddRow("counter-seq", numQ, s0.Size(), mt.Size(), par.Size(), s1.Size(), equiv)
+		}
+	}
+	t.Note("full conversion cycle equivalent on %d/%d random programs (inputs up to length 5)", okAll, trials)
+
+	// Exhaustive census of a tiny program space: what fraction of ALL
+	// sequential programs are SM, and how many functions they realize.
+	cen := sm.SequentialCensus(2, 2, 2, 5)
+	t.Note("program-space census |Q|=2, |W|=2, |R|=2: %d/%d programs symmetric, realizing %d distinct SM functions",
+		cen.Symmetric, cen.Total, cen.DistinctFunctions)
+
+	// Blowup scaling on the threshold axis (the Section 5 "tape" remark:
+	// counter families parameterized by N): capped counting to N.
+	for _, cap := range []int{2, 4, 8} {
+		m := sm.CappedCount(2, 1, cap)
+		p, err := sm.ModThreshToParallel(m)
+		if err != nil {
+			continue
+		}
+		s, err := sm.ParallelToSequential(p)
+		if err != nil {
+			continue
+		}
+		t.AddRow("capped-count-"+itoaSimple(cap), 2, m.Size(), m.Size(), p.Size(), s.Size(),
+			sm.Equivalent(m, s, 2, 8) == nil)
+	}
+
+	// Blowup scaling: parity over growing moduli.
+	for _, mod := range []int{2, 3, 5} {
+		m := sm.CountMod(2, 1, mod)
+		p, err := sm.ModThreshToParallel(m)
+		if err != nil {
+			continue
+		}
+		s, err := sm.ParallelToSequential(p)
+		if err != nil {
+			continue
+		}
+		t.AddRow("count-mod-"+itoaSimple(mod), 2, m.Size(), m.Size(), p.Size(), s.Size(),
+			sm.Equivalent(m, s, 2, 8) == nil)
+	}
+	return t
+}
+
+// E12IWA reproduces Section 5.1: an IWA simulates one FSSGA round in Θ(m)
+// agent steps, and an FSSGA simulates an IWA with O(log Δ) delay per move.
+func E12IWA(opts Options) *Table {
+	t := &Table{
+		ID:      "E12",
+		Title:   "FSSGA ↔ isotonic web automaton (Section 5.1)",
+		Claim:   "IWA simulates one FSSGA round in Θ(m); FSSGA simulates IWA with O(log Δ) delay",
+		Columns: []string{"direction", "param", "value", "cost", "cost/param"},
+	}
+	// Direction 1: IWA simulating FSSGA, steps vs m.
+	numQ := 4
+	orFn := sm.BitwiseOR(2)
+	fs := make([]sm.Func, numQ)
+	for q := 0; q < numQ; q++ {
+		fs[q] = orSelfFn{or: orFn, self: q}
+	}
+	auto, err := fssga.NewDeterministicFormal(numQ, fs)
+	if err == nil {
+		sizes := []int{20, 40, 80}
+		if opts.Quick {
+			sizes = []int{20, 40}
+		}
+		var xs, ys []float64
+		for _, n := range sizes {
+			rng := rand.New(rand.NewSource(opts.Seed + int64(n)))
+			g := graph.RandomConnectedGNP(n, 6.0/float64(n), rng)
+			states := make([]int, g.Cap())
+			for v := range states {
+				states[v] = rng.Intn(numQ)
+			}
+			_, steps, err := iwa.SimulateRound(g, auto, states)
+			if err != nil {
+				continue
+			}
+			m := float64(g.NumEdges())
+			t.AddRow("IWA→FSSGA round", "m="+itoaSimple(g.NumEdges()), n, steps, float64(steps)/m)
+			xs = append(xs, m)
+			ys = append(ys, float64(steps))
+		}
+		if len(xs) >= 2 {
+			fit := stats.LogLogFit(xs, ys)
+			t.Note("agent steps vs m log-log slope %.2f (Θ(m) predicts ≈1)", fit.Slope)
+		}
+	}
+
+	// Direction 2: FSSGA simulating IWA, rounds per move vs Δ.
+	marker := &iwa.Machine{
+		NumStates: 1,
+		NumLabels: 2,
+		Rules: []iwa.Rule{
+			{State: 0, CurLabel: 0, CondLabel: iwa.NoCond, MoveLabel: 0, NewLabel: 1, NewState: 0},
+			{State: 0, CurLabel: 0, CondLabel: iwa.NoCond, MoveLabel: iwa.NoMove, NewLabel: 1, NewState: 0},
+		},
+	}
+	degrees := []int{4, 16, 64, 256}
+	trials := 10
+	if opts.Quick {
+		degrees = []int{4, 16}
+		trials = 4
+	}
+	var dxs, dys []float64
+	for _, d := range degrees {
+		total := 0
+		count := 0
+		for i := 0; i < trials; i++ {
+			g := graph.Star(d + 1)
+			sim, err := iwa.NewSimulator(marker, g, make([]int, g.Cap()), 0, opts.Seed+int64(i)*7)
+			if err != nil {
+				continue
+			}
+			for r := 0; sim.Moves < 1 && r < 100000; r++ {
+				if !sim.Round() {
+					break
+				}
+			}
+			if sim.Moves >= 1 {
+				total += sim.Rounds
+				count++
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		mean := float64(total) / float64(count)
+		t.AddRow("FSSGA→IWA move", "Δ="+itoaSimple(d), d, mean, mean/math.Log2(float64(d)+1))
+		dxs = append(dxs, float64(d))
+		dys = append(dys, mean)
+	}
+	if len(dxs) >= 2 {
+		fit := stats.LogLogFit(dxs, dys)
+		t.Note("rounds/move vs Δ log-log slope %.2f (O(log Δ) predicts ≈0–0.3)", fit.Slope)
+	}
+	return t
+}
+
+type orSelfFn struct {
+	or   sm.Func
+	self int
+}
+
+func (o orSelfFn) Eval(qs []int) int { return o.or.Eval(qs) | o.self }
+
+// E13Sensitivity reproduces the Section 2 sensitivity taxonomy: measured
+// critical-set sizes and failure behaviour for each algorithm class.
+func E13Sensitivity(opts Options) *Table {
+	t := &Table{
+		ID:    "E13",
+		Title: "Sensitivity taxonomy (Section 2)",
+		Claim: "decentralized 0, agent-based 1, tree-based Θ(n)",
+		Columns: []string{"algorithm", "claimed k", "max |χ|", "trials",
+			"critical runs", "non-critical", "correct non-critical"},
+	}
+	trials := 12
+	n := 24
+	if opts.Quick {
+		trials = 5
+		n = 16
+	}
+	probes := []sensitivity.Probe{
+		sensitivity.CensusProbe(14, 8, 2),
+		sensitivity.ShortestPathProbe(func(g *graph.Graph) []int { return []int{0} }),
+		sensitivity.BridgesProbe(),
+		sensitivity.GreedyTouristProbe(),
+		sensitivity.MilgramProbe(),
+		sensitivity.BetaProbe(2 * n),
+	}
+	for _, p := range probes {
+		row := sensitivity.Measure(p, trials, n, 0.08, opts.Seed)
+		t.AddRow(row.Name, row.Claimed, row.MaxChi, row.Trials,
+			row.CriticalRuns, row.NonCritical, row.CorrectNonCrit)
+	}
+	t.Note("0-sensitive algorithms must show 0 critical runs and 100%% correctness; tree-based algorithms show Θ(n)-sized χ and frequent critical hits")
+	return t
+}

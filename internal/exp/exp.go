@@ -1,0 +1,159 @@
+// Package exp is the experiment harness: one runner per experiment in
+// DESIGN.md's per-experiment index (E1–E13), each regenerating the
+// measured table for one quantitative claim of Pritchard & Vempala
+// (SPAA 2006). The cmd/fssga-bench binary prints these tables, and
+// EXPERIMENTS.md records paper-vs-measured values produced here.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Options configures a run.
+type Options struct {
+	// Seed drives all randomness; a fixed seed reproduces tables exactly.
+	Seed int64
+	// Quick shrinks sweeps and trial counts (used by tests and -quick).
+	Quick bool
+}
+
+// Table is one experiment's output.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper's claim being reproduced
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends a free-form observation line.
+func (t *Table) Note(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Print renders the table in aligned plain text.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s\n", t.ID, t.Title)
+	fmt.Fprintf(w, "   claim: %s\n", t.Claim)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "   %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "   note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Runner is an experiment entry point.
+type Runner func(Options) *Table
+
+// Registry maps experiment IDs to their runners.
+var Registry = map[string]Runner{
+	"E1":  E1Census,
+	"E2":  E2Bridges,
+	"E3":  E3ShortestPath,
+	"E4":  E4TwoColor,
+	"E5":  E5Synchronizer,
+	"E6":  E6BFS,
+	"E7":  E7RandomWalk,
+	"E8":  E8Milgram,
+	"E9":  E9Tourist,
+	"E10": E10Election,
+	"E11": E11Conversions,
+	"E12": E12IWA,
+	"E13": E13Sensitivity,
+}
+
+// IDs returns the registered experiment IDs in order.
+func IDs() []string {
+	ids := make([]string, 0, len(Registry))
+	for id := range Registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := ids[i], ids[j]
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	return ids
+}
+
+// RunAll executes every experiment and writes all tables to w.
+func RunAll(opts Options, w io.Writer) {
+	for _, id := range IDs() {
+		Registry[id](opts).Print(w)
+	}
+}
+
+// PrintMarkdown renders the table as GitHub-flavoured markdown, used to
+// regenerate the EXPERIMENTS.md tables.
+func (t *Table) PrintMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(w, "**Claim:** %s\n\n", t.Claim)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | "))
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n*%s*\n", n)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,38 @@
+package exp
+
+import (
+	"math/rand"
+	"strconv"
+
+	"repro/internal/algo/synchronizer"
+	"repro/internal/fssga"
+	"repro/internal/graph"
+)
+
+// maxAutomaton spreads the maximum initial value — the deterministic
+// reference algorithm used by the synchronizer experiment.
+type maxAutomaton struct{}
+
+// Step implements fssga.Automaton.
+func (maxAutomaton) Step(self int, view *fssga.View[int], rnd *rand.Rand) int {
+	best := self
+	view.ForEach(func(s, _ int) {
+		if s > best {
+			best = s
+		}
+	})
+	return best
+}
+
+func newMaxNet(g *graph.Graph, seed int64) *fssga.Network[int] {
+	return fssga.New[int](g, maxAutomaton{}, func(v int) int { return v }, seed)
+}
+
+func newWrappedMaxNet(g *graph.Graph, seed int64) *fssga.Network[synchronizer.State[int]] {
+	return fssga.New[synchronizer.State[int]](g,
+		synchronizer.Wrapped[int]{Inner: maxAutomaton{}},
+		synchronizer.WrapInit(func(v int) int { return v }),
+		seed)
+}
+
+func itoaSimple(n int) string { return strconv.Itoa(n) }

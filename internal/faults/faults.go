@@ -1,0 +1,139 @@
+// Package faults implements the decreasing benign fault model of Pritchard
+// & Vempala (SPAA 2006), Section 1: nodes and edges may permanently
+// disappear, nothing ever joins, and there is no malicious behaviour.
+// A Schedule is a time-indexed list of kill events that an Injector applies
+// to a live graph as a simulation advances.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Kind discriminates fault event types.
+type Kind int
+
+// Fault event kinds.
+const (
+	KillNode Kind = iota
+	KillEdge
+)
+
+// String returns the event kind name.
+func (k Kind) String() string {
+	switch k {
+	case KillNode:
+		return "kill-node"
+	case KillEdge:
+		return "kill-edge"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is a single fault: at the start of step AtStep, the node or edge
+// dies.
+type Event struct {
+	AtStep int
+	Kind   Kind
+	Node   int        // for KillNode
+	Edge   graph.Edge // for KillEdge
+}
+
+// String renders the event for traces.
+func (e Event) String() string {
+	if e.Kind == KillNode {
+		return fmt.Sprintf("@%d %v %d", e.AtStep, e.Kind, e.Node)
+	}
+	return fmt.Sprintf("@%d %v (%d,%d)", e.AtStep, e.Kind, e.Edge.U, e.Edge.V)
+}
+
+// Schedule is a list of fault events, kept sorted by AtStep.
+type Schedule []Event
+
+// Sort orders the schedule by AtStep (stable for equal steps).
+func (s Schedule) Sort() {
+	sort.SliceStable(s, func(i, j int) bool { return s[i].AtStep < s[j].AtStep })
+}
+
+// NodeAt returns a schedule entry killing node v at the given step.
+func NodeAt(step, v int) Event { return Event{AtStep: step, Kind: KillNode, Node: v} }
+
+// EdgeAt returns a schedule entry killing edge {u, w} at the given step.
+func EdgeAt(step, u, w int) Event {
+	return Event{AtStep: step, Kind: KillEdge, Edge: graph.NormEdge(u, w)}
+}
+
+// RandomSchedule builds a schedule that kills approximately
+// rate*steps events spread uniformly over steps 1..steps, each
+// independently a node kill (probability nodeFrac) or an edge kill,
+// targeting uniformly random live-at-construction nodes/edges of g.
+// Duplicate targets are permitted; applying a fault to an already-dead
+// target is a no-op.
+func RandomSchedule(g *graph.Graph, steps int, rate, nodeFrac float64, rng *rand.Rand) Schedule {
+	if rate < 0 || nodeFrac < 0 || nodeFrac > 1 {
+		panic(fmt.Sprintf("faults: bad parameters rate=%v nodeFrac=%v", rate, nodeFrac))
+	}
+	count := int(rate * float64(steps))
+	nodes := g.Nodes(nil)
+	edges := g.Edges()
+	var s Schedule
+	for i := 0; i < count; i++ {
+		step := 1 + rng.Intn(steps)
+		if rng.Float64() < nodeFrac && len(nodes) > 0 {
+			s = append(s, NodeAt(step, nodes[rng.Intn(len(nodes))]))
+		} else if len(edges) > 0 {
+			e := edges[rng.Intn(len(edges))]
+			s = append(s, EdgeAt(step, e.U, e.V))
+		}
+	}
+	s.Sort()
+	return s
+}
+
+// Injector applies a Schedule to a graph as steps advance.
+type Injector struct {
+	schedule Schedule
+	idx      int
+	applied  []Event
+}
+
+// NewInjector returns an injector over a (sorted) schedule. The schedule
+// is sorted defensively.
+func NewInjector(s Schedule) *Injector {
+	s = append(Schedule(nil), s...)
+	s.Sort()
+	return &Injector{schedule: s}
+}
+
+// Advance applies every event with AtStep <= step that has not yet been
+// applied, and returns the events that actually changed the graph
+// (already-dead targets are skipped).
+func (in *Injector) Advance(g *graph.Graph, step int) []Event {
+	var fired []Event
+	for in.idx < len(in.schedule) && in.schedule[in.idx].AtStep <= step {
+		e := in.schedule[in.idx]
+		in.idx++
+		changed := false
+		switch e.Kind {
+		case KillNode:
+			changed = g.RemoveNode(e.Node)
+		case KillEdge:
+			changed = g.RemoveEdge(e.Edge.U, e.Edge.V)
+		}
+		if changed {
+			fired = append(fired, e)
+			in.applied = append(in.applied, e)
+		}
+	}
+	return fired
+}
+
+// Applied returns the events that actually changed the graph so far.
+func (in *Injector) Applied() []Event { return in.applied }
+
+// Remaining returns the number of schedule entries not yet processed.
+func (in *Injector) Remaining() int { return len(in.schedule) - in.idx }

@@ -1,0 +1,136 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestEventString(t *testing.T) {
+	if got := NodeAt(3, 7).String(); got != "@3 kill-node 7" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := EdgeAt(5, 9, 2).String(); got != "@5 kill-edge (2,9)" {
+		t.Fatalf("String = %q", got)
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestScheduleSort(t *testing.T) {
+	s := Schedule{NodeAt(5, 0), NodeAt(1, 1), EdgeAt(3, 0, 1)}
+	s.Sort()
+	if s[0].AtStep != 1 || s[1].AtStep != 3 || s[2].AtStep != 5 {
+		t.Fatalf("sorted = %v", s)
+	}
+}
+
+func TestInjectorAppliesInOrder(t *testing.T) {
+	g := graph.Path(5)
+	in := NewInjector(Schedule{
+		EdgeAt(2, 1, 2),
+		NodeAt(4, 0),
+	})
+	if fired := in.Advance(g, 1); len(fired) != 0 {
+		t.Fatalf("early fire: %v", fired)
+	}
+	fired := in.Advance(g, 2)
+	if len(fired) != 1 || fired[0].Kind != KillEdge {
+		t.Fatalf("fired = %v", fired)
+	}
+	if g.HasEdge(1, 2) {
+		t.Fatal("edge survived")
+	}
+	fired = in.Advance(g, 10)
+	if len(fired) != 1 || fired[0].Kind != KillNode {
+		t.Fatalf("fired = %v", fired)
+	}
+	if g.Alive(0) {
+		t.Fatal("node survived")
+	}
+	if in.Remaining() != 0 {
+		t.Fatalf("remaining = %d", in.Remaining())
+	}
+	if len(in.Applied()) != 2 {
+		t.Fatalf("applied = %v", in.Applied())
+	}
+}
+
+func TestInjectorSkipsDeadTargets(t *testing.T) {
+	g := graph.Path(3)
+	in := NewInjector(Schedule{
+		NodeAt(1, 1),
+		NodeAt(2, 1),    // already dead
+		EdgeAt(3, 0, 1), // died with node 1
+	})
+	in.Advance(g, 5)
+	if len(in.Applied()) != 1 {
+		t.Fatalf("applied = %v", in.Applied())
+	}
+}
+
+func TestInjectorUnsortedInput(t *testing.T) {
+	g := graph.Path(4)
+	in := NewInjector(Schedule{NodeAt(9, 3), NodeAt(1, 0)})
+	fired := in.Advance(g, 1)
+	if len(fired) != 1 || fired[0].Node != 0 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestRandomScheduleProperties(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnectedGNP(20, 0.2, rng)
+		s := RandomSchedule(g, 100, 0.1, 0.5, rng)
+		if len(s) != 10 {
+			return false
+		}
+		for i := 1; i < len(s); i++ {
+			if s[i-1].AtStep > s[i].AtStep {
+				return false
+			}
+		}
+		for _, e := range s {
+			if e.AtStep < 1 || e.AtStep > 100 {
+				return false
+			}
+		}
+		// Applying the whole schedule keeps the graph valid.
+		in := NewInjector(s)
+		in.Advance(g, 101)
+		return g.Validate() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomScheduleZeroRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.Path(5)
+	if s := RandomSchedule(g, 50, 0, 0.5, rng); len(s) != 0 {
+		t.Fatalf("schedule = %v", s)
+	}
+}
+
+func TestRandomScheduleBadParamsPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.Path(3)
+	for i, f := range []func(){
+		func() { RandomSchedule(g, 10, -1, 0.5, rng) },
+		func() { RandomSchedule(g, 10, 0.1, 2, rng) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

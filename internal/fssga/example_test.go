@@ -1,0 +1,59 @@
+package fssga_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fssga"
+	"repro/internal/graph"
+)
+
+// ExampleNetwork shows the minimal FSSGA program: every node adopts the
+// minimum state it can see, converging to the global minimum within
+// diameter rounds.
+func ExampleNetwork() {
+	g := graph.Cycle(6)
+	min := fssga.StepFunc[int](func(self int, view *fssga.View[int], rnd *rand.Rand) int {
+		best := self
+		view.ForEach(func(s, _ int) {
+			if s < best {
+				best = s
+			}
+		})
+		return best
+	})
+	net := fssga.New[int](g, min, func(v int) int { return 10 + v }, 1)
+	rounds, _ := net.RunSyncUntilQuiescent(100)
+	fmt.Println("rounds:", rounds, "state:", net.State(3))
+	// Output:
+	// rounds: 3 state: 10
+}
+
+// ExampleView demonstrates the symmetric mod-thresh observations a node
+// program is allowed: capped counts and modular counts of the neighbour
+// multiset — never order or identity.
+func ExampleView() {
+	view := fssga.NewView([]string{"red", "red", "blue", "red"})
+	fmt.Println("reds (capped at 2):", view.CountState("red", 2))
+	fmt.Println("any blue:", view.AnyState("blue"))
+	fmt.Println("reds mod 2:", view.CountMod(2, func(s string) bool { return s == "red" }))
+	fmt.Println("exactly one blue:", view.Exactly(1, func(s string) bool { return s == "blue" }))
+	// Output:
+	// reds (capped at 2): 2
+	// any blue: true
+	// reds mod 2: 1
+	// exactly one blue: true
+}
+
+// ExampleSemiLattice runs the paper's "automatically fault-tolerant"
+// algorithm family: semi-lattice diffusion (here gcd) over a network.
+func ExampleSemiLattice() {
+	g := graph.Path(4)
+	vals := []int{12, 18, 30, 42}
+	net := fssga.New[int](g, fssga.SemiLattice[int]{Join: fssga.GCDJoin},
+		func(v int) int { return vals[v] }, 1)
+	net.RunSyncUntilQuiescent(100)
+	fmt.Println("network gcd:", net.State(0))
+	// Output:
+	// network gcd: 6
+}

@@ -1,0 +1,86 @@
+package fssga
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/sm"
+)
+
+// FormalAutomaton is the formal FSSGA of Definition 3.10: a finite state
+// set Q = {0..NumQ-1} and, for each own-state q, an SM function f[q] that
+// maps the multiset of neighbour states to the node's new state. It
+// implements Automaton[int], bridging the sm program models into the
+// network engine. Probabilistic FSSGAs (Definition 3.11) supply R > 1
+// variants per state: on activation the node draws i uniformly from
+// {0..R-1} and applies F[q][i].
+type FormalAutomaton struct {
+	NumQ int
+	R    int         // number of random variants (1 = deterministic)
+	F    [][]sm.Func // F[q][i]: SM function applied in own-state q, coin i
+}
+
+// NewDeterministicFormal builds a deterministic formal automaton from one
+// SM function per own state.
+func NewDeterministicFormal(numQ int, fs []sm.Func) (*FormalAutomaton, error) {
+	if len(fs) != numQ {
+		return nil, fmt.Errorf("fssga: need %d functions, got %d", numQ, len(fs))
+	}
+	wrapped := make([][]sm.Func, numQ)
+	for q, f := range fs {
+		if f == nil {
+			return nil, fmt.Errorf("fssga: f[%d] is nil", q)
+		}
+		wrapped[q] = []sm.Func{f}
+	}
+	return &FormalAutomaton{NumQ: numQ, R: 1, F: wrapped}, nil
+}
+
+// NewProbabilisticFormal builds a probabilistic formal automaton; fs[q][i]
+// is the FSM function for own-state q and coin value i (Definition 3.11).
+func NewProbabilisticFormal(numQ, r int, fs [][]sm.Func) (*FormalAutomaton, error) {
+	if r < 1 {
+		return nil, fmt.Errorf("fssga: need r >= 1, got %d", r)
+	}
+	if len(fs) != numQ {
+		return nil, fmt.Errorf("fssga: need %d rows, got %d", numQ, len(fs))
+	}
+	for q, row := range fs {
+		if len(row) != r {
+			return nil, fmt.Errorf("fssga: f[%d] has %d variants, want %d", q, len(row), r)
+		}
+		for i, f := range row {
+			if f == nil {
+				return nil, fmt.Errorf("fssga: f[%d][%d] is nil", q, i)
+			}
+		}
+	}
+	return &FormalAutomaton{NumQ: numQ, R: r, F: fs}, nil
+}
+
+// Step implements Automaton[int]. The neighbour multiset is expanded into
+// a canonical sorted sequence; since f[q] is an SM function the order is
+// immaterial, and sorting makes even non-SM (buggy) programs behave
+// deterministically so tests can detect them.
+func (a *FormalAutomaton) Step(self int, view *View[int], rnd *rand.Rand) int {
+	var qs []int
+	view.ForEach(func(state, count int) {
+		for i := 0; i < count; i++ {
+			qs = append(qs, state)
+		}
+	})
+	if len(qs) == 0 {
+		return self
+	}
+	sort.Ints(qs)
+	i := 0
+	if a.R > 1 {
+		i = rnd.Intn(a.R)
+	}
+	out := a.F[self][i].Eval(qs)
+	if out < 0 || out >= a.NumQ {
+		panic(fmt.Sprintf("fssga: f[%d] returned out-of-range state %d", self, out))
+	}
+	return out
+}

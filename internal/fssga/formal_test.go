@@ -1,0 +1,132 @@
+package fssga
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sm"
+)
+
+// TestFormalAutomatonFlajoletMartinStyleOR runs the formal automaton whose
+// transition is "new state = my state OR (OR of neighbours)" — the
+// diffusion step of the Flajolet–Martin census — expressed as sm.ModThresh
+// programs, one per own state, on a path graph.
+func TestFormalAutomatonFlajoletMartinStyleOR(t *testing.T) {
+	const bits = 2
+	numQ := 1 << bits
+	orFn := sm.BitwiseOR(bits)
+	fs := make([]sm.Func, numQ)
+	for q := 0; q < numQ; q++ {
+		q := q
+		fs[q] = orWithSelf{or: orFn, self: q}
+	}
+	auto, err := NewDeterministicFormal(numQ, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Path(5)
+	// Node v starts with bit (v mod 2): states alternate 1, 2, 1, 2, 1.
+	net := New[int](g, auto, func(v int) int { return 1 << uint(v%2) }, 1)
+	rounds, finished := net.RunSyncUntilQuiescent(50)
+	if !finished {
+		t.Fatal("did not converge")
+	}
+	if rounds > 6 {
+		t.Fatalf("took %d rounds", rounds)
+	}
+	for v := 0; v < 5; v++ {
+		if net.State(v) != 3 {
+			t.Fatalf("state[%d] = %d, want 3", v, net.State(v))
+		}
+	}
+}
+
+// orWithSelf wraps an OR SM function to include the node's own state: the
+// formal model reads the own state via the choice of f[q], so we bake q in.
+type orWithSelf struct {
+	or   sm.Func
+	self int
+}
+
+func (o orWithSelf) Eval(qs []int) int {
+	return o.or.Eval(qs) | o.self
+}
+
+func TestNewDeterministicFormalErrors(t *testing.T) {
+	if _, err := NewDeterministicFormal(2, []sm.Func{sm.AnyPresent(2, 1)}); err == nil {
+		t.Fatal("wrong count accepted")
+	}
+	if _, err := NewDeterministicFormal(1, []sm.Func{nil}); err == nil {
+		t.Fatal("nil function accepted")
+	}
+}
+
+func TestNewProbabilisticFormalErrors(t *testing.T) {
+	f := sm.AnyPresent(2, 1)
+	if _, err := NewProbabilisticFormal(2, 0, nil); err == nil {
+		t.Fatal("r=0 accepted")
+	}
+	if _, err := NewProbabilisticFormal(1, 2, [][]sm.Func{{f}}); err == nil {
+		t.Fatal("short variant row accepted")
+	}
+	if _, err := NewProbabilisticFormal(1, 1, [][]sm.Func{{nil}}); err == nil {
+		t.Fatal("nil variant accepted")
+	}
+	if _, err := NewProbabilisticFormal(2, 1, [][]sm.Func{{f}}); err == nil {
+		t.Fatal("wrong row count accepted")
+	}
+}
+
+func TestProbabilisticFormalUsesCoin(t *testing.T) {
+	// Two variants: f[q][0] always returns 0, f[q][1] always returns 1.
+	zero := constFunc(0)
+	one := constFunc(1)
+	auto, err := NewProbabilisticFormal(2, 2, [][]sm.Func{
+		{zero, one},
+		{zero, one},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Complete(10)
+	net := New[int](g, auto, func(v int) int { return 0 }, 12345)
+	net.SyncRound()
+	counts := net.CountStates()
+	// With 10 fair coins, both outcomes should appear almost surely for
+	// this seed; assert nondegeneracy.
+	if counts[0] == 10 || counts[1] == 10 {
+		t.Fatalf("coin outcomes degenerate: %v", counts)
+	}
+}
+
+type constFunc int
+
+func (c constFunc) Eval(qs []int) int { return int(c) }
+
+func TestFormalStepPanicsOnOutOfRange(t *testing.T) {
+	bad := constFunc(7)
+	auto, err := NewDeterministicFormal(2, []sm.Func{bad, bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Path(2)
+	net := New[int](g, auto, func(v int) int { return 0 }, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range state")
+		}
+	}()
+	net.SyncRound()
+}
+
+func TestFormalIsolatedNodeKeepsState(t *testing.T) {
+	f := sm.AnyPresent(2, 1)
+	auto, err := NewDeterministicFormal(2, []sm.Func{f, f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewView([]int{})
+	if got := auto.Step(1, v, nil); got != 1 {
+		t.Fatalf("isolated Step = %d, want 1", got)
+	}
+}

@@ -1,0 +1,239 @@
+package fssga
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Network is a running FSSGA system: a graph whose live nodes each hold a
+// state and share one automaton. The graph may shrink between steps
+// (decreasing benign faults); dead nodes are frozen and skipped.
+type Network[S comparable] struct {
+	// G is the (mutable) topology. Callers may remove nodes/edges between
+	// steps to inject faults; they must never grow it.
+	G *graph.Graph
+
+	auto   Automaton[S]
+	states []S
+	next   []S // scratch buffer for synchronous rounds
+	rngs   []*rand.Rand
+
+	// Rounds counts completed synchronous rounds; Activations counts
+	// single-node asynchronous activations.
+	Rounds      int
+	Activations int
+
+	// OnRound, if non-nil, is invoked after every completed synchronous
+	// round with the round number (1-based).
+	OnRound func(round int)
+
+	nbrBuf []int // reusable neighbour buffer (serial paths only)
+}
+
+// New creates a network over g running auto, with node v initialized to
+// init(v). Every node gets an independent deterministic random stream
+// derived from seed, so runs are reproducible and independent of execution
+// order and worker count.
+func New[S comparable](g *graph.Graph, auto Automaton[S], init func(v int) S, seed int64) *Network[S] {
+	n := g.Cap()
+	net := &Network[S]{
+		G:      g,
+		auto:   auto,
+		states: make([]S, n),
+		next:   make([]S, n),
+		rngs:   make([]*rand.Rand, n),
+	}
+	for v := 0; v < n; v++ {
+		net.rngs[v] = rand.New(rand.NewSource(mix(seed, int64(v))))
+		if g.Alive(v) {
+			net.states[v] = init(v)
+		}
+	}
+	return net
+}
+
+// mix derives a per-node seed from the master seed with a SplitMix64-style
+// finalizer so nearby seeds give unrelated streams.
+func mix(seed, v int64) int64 {
+	z := uint64(seed) + uint64(v)*0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// State returns the current state of node v (meaningless for dead nodes).
+func (net *Network[S]) State(v int) S { return net.states[v] }
+
+// SetState overrides the state of node v; used to set up distinguished
+// initial conditions (e.g. "one node is RED").
+func (net *Network[S]) SetState(v int, s S) { net.states[v] = s }
+
+// States returns the internal state slice (indexed by node ID). Callers
+// must treat it as read-only.
+func (net *Network[S]) States() []S { return net.states }
+
+// view builds the symmetric neighbour view of v from the given snapshot.
+func (net *Network[S]) view(v int, snapshot []S) *View[S] {
+	counts := make(map[S]int, net.G.Degree(v))
+	net.nbrBuf = net.G.Neighbors(v, net.nbrBuf[:0])
+	for _, u := range net.nbrBuf {
+		counts[snapshot[u]]++
+	}
+	return NewViewFromCounts(counts)
+}
+
+// viewAlloc is like view but allocation-only (safe for concurrent use).
+func (net *Network[S]) viewAlloc(v int, snapshot []S) *View[S] {
+	counts := make(map[S]int, net.G.Degree(v))
+	for _, u := range net.G.Neighbors(v, nil) {
+		counts[snapshot[u]]++
+	}
+	return NewViewFromCounts(counts)
+}
+
+// Activate performs one asynchronous activation of node v (no-op for dead
+// or isolated nodes, since SM functions are defined on Q^+ only).
+func (net *Network[S]) Activate(v int) {
+	if !net.G.Alive(v) || net.G.Degree(v) == 0 {
+		return
+	}
+	view := net.view(v, net.states)
+	net.states[v] = net.auto.Step(net.states[v], view, net.rngs[v])
+	net.Activations++
+}
+
+// SyncRound performs one synchronous round: every live node computes its
+// successor state from the same snapshot σ, then all states switch
+// simultaneously (Section 3.4's synchronous model).
+func (net *Network[S]) SyncRound() {
+	for v := 0; v < net.G.Cap(); v++ {
+		if !net.G.Alive(v) || net.G.Degree(v) == 0 {
+			net.next[v] = net.states[v]
+			continue
+		}
+		view := net.view(v, net.states)
+		net.next[v] = net.auto.Step(net.states[v], view, net.rngs[v])
+	}
+	net.states, net.next = net.next, net.states
+	net.Rounds++
+	if net.OnRound != nil {
+		net.OnRound(net.Rounds)
+	}
+}
+
+// SyncRoundParallel performs one synchronous round using the given number
+// of worker goroutines. Because every node has a private random stream and
+// reads only the immutable snapshot, the result is bit-identical to
+// SyncRound regardless of worker count — goroutines map one-to-one onto
+// node activations.
+func (net *Network[S]) SyncRoundParallel(workers int) {
+	if workers < 1 {
+		panic(fmt.Sprintf("fssga: SyncRoundParallel needs workers >= 1, got %d", workers))
+	}
+	n := net.G.Cap()
+	if workers == 1 || n < 2 {
+		net.SyncRound()
+		return
+	}
+	snapshot := net.states
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for v := lo; v < hi; v++ {
+				if !net.G.Alive(v) || net.G.Degree(v) == 0 {
+					net.next[v] = snapshot[v]
+					continue
+				}
+				view := net.viewAlloc(v, snapshot)
+				net.next[v] = net.auto.Step(snapshot[v], view, net.rngs[v])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	net.states, net.next = net.next, net.states
+	net.Rounds++
+	if net.OnRound != nil {
+		net.OnRound(net.Rounds)
+	}
+}
+
+// RunSync runs synchronous rounds until done returns true (checked after
+// each round) or maxRounds is reached. It reports the number of rounds run
+// and whether done fired. A nil done runs to the round limit.
+func (net *Network[S]) RunSync(maxRounds int, done func(net *Network[S]) bool) (rounds int, finished bool) {
+	for r := 0; r < maxRounds; r++ {
+		net.SyncRound()
+		if done != nil && done(net) {
+			return r + 1, true
+		}
+	}
+	return maxRounds, done == nil
+}
+
+// RunSyncParallel is RunSync with goroutine-parallel rounds.
+func (net *Network[S]) RunSyncParallel(maxRounds, workers int, done func(net *Network[S]) bool) (rounds int, finished bool) {
+	for r := 0; r < maxRounds; r++ {
+		net.SyncRoundParallel(workers)
+		if done != nil && done(net) {
+			return r + 1, true
+		}
+	}
+	return maxRounds, done == nil
+}
+
+// Quiescent reports whether one more synchronous round would leave every
+// state unchanged. It is meaningful only for deterministic automata; it
+// evaluates successor states against cloned random streams so the real
+// streams are not consumed.
+func (net *Network[S]) Quiescent() bool {
+	for v := 0; v < net.G.Cap(); v++ {
+		if !net.G.Alive(v) || net.G.Degree(v) == 0 {
+			continue
+		}
+		view := net.view(v, net.states)
+		// A fresh rand with a fixed seed: deterministic automata must not
+		// consult it, and Quiescent is documented as deterministic-only.
+		if net.auto.Step(net.states[v], view, rand.New(rand.NewSource(1))) != net.states[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// RunSyncUntilQuiescent runs synchronous rounds until a round changes no
+// state, up to maxRounds. For deterministic automata only.
+func (net *Network[S]) RunSyncUntilQuiescent(maxRounds int) (rounds int, finished bool) {
+	for r := 0; r < maxRounds; r++ {
+		if net.Quiescent() {
+			return r, true
+		}
+		net.SyncRound()
+	}
+	return maxRounds, net.Quiescent()
+}
+
+// CountStates returns the multiset of live-node states.
+func (net *Network[S]) CountStates() map[S]int {
+	counts := make(map[S]int)
+	for v := 0; v < net.G.Cap(); v++ {
+		if net.G.Alive(v) {
+			counts[net.states[v]]++
+		}
+	}
+	return counts
+}

@@ -1,0 +1,338 @@
+package fssga
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// maxAutomaton spreads the maximum value: each node takes the max of its
+// own state and its neighbours'. Converges to the global max everywhere —
+// a deterministic semi-lattice "algorithm" ideal for engine tests.
+type maxAutomaton struct{}
+
+func (maxAutomaton) Step(self int, view *View[int], rnd *rand.Rand) int {
+	best := self
+	view.ForEach(func(s, _ int) {
+		if s > best {
+			best = s
+		}
+	})
+	return best
+}
+
+// coinAutomaton consumes randomness: the state becomes a fresh coin flip
+// xor'd with the number of neighbours in state 1 (mod 2). Used to verify
+// per-node random-stream determinism across worker counts.
+type coinAutomaton struct{}
+
+func (coinAutomaton) Step(self int, view *View[int], rnd *rand.Rand) int {
+	return (rnd.Intn(2) + view.CountMod(2, func(s int) bool { return s == 1 })) % 2
+}
+
+func newMaxNet(g *graph.Graph, seed int64) *Network[int] {
+	return New[int](g, maxAutomaton{}, func(v int) int { return v }, seed)
+}
+
+func TestSyncRoundSpreadsMax(t *testing.T) {
+	g := graph.Path(6)
+	net := newMaxNet(g, 1)
+	// Max value 5 sits at one end; diameter is 5, so 5 rounds suffice.
+	for i := 0; i < 5; i++ {
+		net.SyncRound()
+	}
+	for v := 0; v < 6; v++ {
+		if net.State(v) != 5 {
+			t.Fatalf("state[%d] = %d after 5 rounds", v, net.State(v))
+		}
+	}
+	if net.Rounds != 5 {
+		t.Fatalf("Rounds = %d", net.Rounds)
+	}
+}
+
+func TestSyncUsesSnapshotSemantics(t *testing.T) {
+	// On a path 0-1-2 with values 2,0,1: after ONE synchronous round node
+	// 1 must see the OLD values of its neighbours (2 and 1) -> becomes 2,
+	// and node 2 must see old 0 -> stays 1. Sequential in-place updating
+	// would wrongly give node 2 the value 2 in one round.
+	g := graph.Path(3)
+	net := New[int](g, maxAutomaton{}, func(v int) int { return []int{2, 0, 1}[v] }, 1)
+	net.SyncRound()
+	if net.State(1) != 2 {
+		t.Fatalf("state[1] = %d, want 2", net.State(1))
+	}
+	if net.State(2) != 1 {
+		t.Fatalf("state[2] = %d, want 1 (snapshot semantics violated)", net.State(2))
+	}
+}
+
+func TestRunSyncUntilQuiescent(t *testing.T) {
+	g := graph.Cycle(10)
+	net := newMaxNet(g, 1)
+	rounds, finished := net.RunSyncUntilQuiescent(100)
+	if !finished {
+		t.Fatal("did not reach quiescence")
+	}
+	if rounds < 1 || rounds > 6 { // diameter of C10 is 5
+		t.Fatalf("rounds = %d", rounds)
+	}
+	for v := 0; v < 10; v++ {
+		if net.State(v) != 9 {
+			t.Fatalf("state[%d] = %d", v, net.State(v))
+		}
+	}
+	// Already quiescent: zero further rounds.
+	rounds, finished = net.RunSyncUntilQuiescent(10)
+	if rounds != 0 || !finished {
+		t.Fatalf("second call: rounds=%d finished=%v", rounds, finished)
+	}
+}
+
+func TestRunSyncDonePredicate(t *testing.T) {
+	g := graph.Path(8)
+	net := newMaxNet(g, 1)
+	rounds, finished := net.RunSync(100, func(n *Network[int]) bool {
+		return n.State(0) == 7
+	})
+	if !finished || rounds != 7 {
+		t.Fatalf("rounds=%d finished=%v, want 7, true", rounds, finished)
+	}
+}
+
+func TestRunSyncRoundLimit(t *testing.T) {
+	g := graph.Path(8)
+	net := newMaxNet(g, 1)
+	rounds, finished := net.RunSync(3, func(n *Network[int]) bool { return false })
+	if finished || rounds != 3 {
+		t.Fatalf("rounds=%d finished=%v", rounds, finished)
+	}
+}
+
+func TestParallelMatchesSerialDeterministic(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnectedGNP(40, 0.1, rng)
+		serial := newMaxNet(g.Clone(), seed)
+		par := newMaxNet(g.Clone(), seed)
+		for i := 0; i < 8; i++ {
+			serial.SyncRound()
+			par.SyncRoundParallel(1 + rng.Intn(7))
+		}
+		for v := 0; v < 40; v++ {
+			if serial.State(v) != par.State(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelMatchesSerialProbabilistic(t *testing.T) {
+	// Per-node random streams make even randomized automata bit-identical
+	// across worker counts.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnectedGNP(30, 0.15, rng)
+		serial := New[int](g.Clone(), coinAutomaton{}, func(v int) int { return v % 2 }, seed)
+		par := New[int](g.Clone(), coinAutomaton{}, func(v int) int { return v % 2 }, seed)
+		for i := 0; i < 10; i++ {
+			serial.SyncRound()
+			par.SyncRoundParallel(2 + rng.Intn(6))
+		}
+		for v := 0; v < 30; v++ {
+			if serial.State(v) != par.State(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyncRoundParallelBadWorkersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	newMaxNet(graph.Path(3), 1).SyncRoundParallel(0)
+}
+
+func TestActivateAsync(t *testing.T) {
+	g := graph.Path(3)
+	net := newMaxNet(g, 1)
+	net.Activate(1) // sees 0 and 2 -> becomes 2
+	if net.State(1) != 2 {
+		t.Fatalf("state[1] = %d", net.State(1))
+	}
+	if net.Activations != 1 {
+		t.Fatalf("Activations = %d", net.Activations)
+	}
+}
+
+func TestActivateDeadAndIsolatedNoop(t *testing.T) {
+	g := graph.Path(3)
+	g.RemoveNode(1) // isolates 0 and 2
+	net := newMaxNet(g, 1)
+	net.Activate(0)
+	net.Activate(1)
+	if net.Activations != 0 {
+		t.Fatal("isolated/dead activation should not count")
+	}
+	if net.State(0) != 0 {
+		t.Fatal("isolated node state changed")
+	}
+}
+
+func TestDeadNodesFrozenInSyncRound(t *testing.T) {
+	g := graph.Path(5)
+	net := newMaxNet(g, 1)
+	g.RemoveNode(4)
+	net.SyncRound()
+	if net.State(4) != 4 {
+		t.Fatal("dead node state changed")
+	}
+	// Max of the survivors is 3; node 4's value must not spread.
+	net.RunSyncUntilQuiescent(50)
+	for v := 0; v < 4; v++ {
+		if net.State(v) != 3 {
+			t.Fatalf("state[%d] = %d, want 3", v, net.State(v))
+		}
+	}
+}
+
+func TestRunAsyncSchedulers(t *testing.T) {
+	for name, sched := range map[string]Scheduler{
+		"roundrobin": &RoundRobin{},
+		"uniform":    UniformRandom{},
+		"fair":       &FairShuffle{},
+	} {
+		g := graph.Cycle(12)
+		net := newMaxNet(g, 2)
+		done := func(n *Network[int]) bool {
+			for v := 0; v < 12; v++ {
+				if n.State(v) != 11 {
+					return false
+				}
+			}
+			return true
+		}
+		acts, finished := net.RunAsync(sched, 7, 100000, done)
+		if !finished {
+			t.Fatalf("%s: did not converge in %d activations", name, acts)
+		}
+	}
+}
+
+func TestRoundRobinIsFair(t *testing.T) {
+	g := graph.Cycle(5)
+	net := newMaxNet(g, 1)
+	counts := map[int]int{}
+	sched := &RoundRobin{}
+	rng := rand.New(rand.NewSource(1))
+	alive := g.Nodes(nil)
+	for i := 0; i < 20; i++ {
+		counts[sched.Pick(alive, rng)]++
+	}
+	for v := 0; v < 5; v++ {
+		if counts[v] != 4 {
+			t.Fatalf("round robin counts = %v", counts)
+		}
+	}
+	_ = net
+}
+
+func TestFairShuffleCoversAllPerUnit(t *testing.T) {
+	sched := &FairShuffle{}
+	rng := rand.New(rand.NewSource(1))
+	alive := []int{0, 1, 2, 3, 4, 5}
+	for unit := 0; unit < 5; unit++ {
+		seen := map[int]bool{}
+		for i := 0; i < len(alive); i++ {
+			seen[sched.Pick(alive, rng)] = true
+		}
+		if len(seen) != len(alive) {
+			t.Fatalf("unit %d covered %d of %d nodes", unit, len(seen), len(alive))
+		}
+	}
+}
+
+func TestAdversarialScheduler(t *testing.T) {
+	sched := Adversarial{PickFunc: func(alive []int, rng *rand.Rand) int {
+		return alive[0] // starve everyone but the smallest ID
+	}}
+	g := graph.Path(4)
+	net := newMaxNet(g, 1)
+	net.RunAsync(sched, 1, 50, nil)
+	if net.State(3) != 3 {
+		t.Fatal("starved node should not have activated")
+	}
+	if net.State(0) != 1 { // node 0 only ever sees node 1
+		t.Fatalf("state[0] = %d", net.State(0))
+	}
+}
+
+func TestRunAsyncAllDead(t *testing.T) {
+	g := graph.Path(3)
+	net := newMaxNet(g, 1)
+	for v := 0; v < 3; v++ {
+		g.RemoveNode(v)
+	}
+	acts, finished := net.RunAsync(&RoundRobin{}, 1, 100, nil)
+	if acts != 0 || finished {
+		t.Fatalf("acts=%d finished=%v", acts, finished)
+	}
+}
+
+func TestSetStateAndCountStates(t *testing.T) {
+	g := graph.Path(4)
+	net := New[string](g, StepFunc[string](func(s string, v *View[string], r *rand.Rand) string { return s }), func(v int) string { return "blank" }, 1)
+	net.SetState(2, "red")
+	counts := net.CountStates()
+	if counts["blank"] != 3 || counts["red"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	g.RemoveNode(0)
+	counts = net.CountStates()
+	if counts["blank"] != 2 {
+		t.Fatalf("counts after death = %v", counts)
+	}
+}
+
+func TestOnRoundHook(t *testing.T) {
+	g := graph.Path(3)
+	net := newMaxNet(g, 1)
+	var rounds []int
+	net.OnRound = func(r int) { rounds = append(rounds, r) }
+	net.SyncRound()
+	net.SyncRoundParallel(2)
+	if len(rounds) != 2 || rounds[0] != 1 || rounds[1] != 2 {
+		t.Fatalf("rounds = %v", rounds)
+	}
+}
+
+func TestPerNodeStreamsIndependentOfSeedDetails(t *testing.T) {
+	// Different master seeds must give different random behaviour.
+	g := graph.Complete(8)
+	a := New[int](g.Clone(), coinAutomaton{}, func(v int) int { return 0 }, 1)
+	b := New[int](g.Clone(), coinAutomaton{}, func(v int) int { return 0 }, 2)
+	a.SyncRound()
+	b.SyncRound()
+	same := true
+	for v := 0; v < 8; v++ {
+		if a.State(v) != b.State(v) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical coin patterns (suspicious)")
+	}
+}

@@ -1,0 +1,85 @@
+package fssga
+
+import "math/rand"
+
+// Scheduler chooses which node activates next in an asynchronous
+// execution. Pick receives the live node IDs (sorted) and the scheduler's
+// private random stream and returns the node to activate. The same slice
+// may be reused across calls.
+type Scheduler interface {
+	Pick(alive []int, rng *rand.Rand) int
+}
+
+// RoundRobin activates live nodes cyclically in ID order. It is the
+// simplest fair schedule: every node activates once per n activations.
+type RoundRobin struct{ cursor int }
+
+// Pick implements Scheduler.
+func (s *RoundRobin) Pick(alive []int, rng *rand.Rand) int {
+	v := alive[s.cursor%len(alive)]
+	s.cursor++
+	return v
+}
+
+// UniformRandom activates a uniformly random live node each step. It is
+// fair in expectation but gives no per-unit-time guarantee.
+type UniformRandom struct{}
+
+// Pick implements Scheduler.
+func (UniformRandom) Pick(alive []int, rng *rand.Rand) int {
+	return alive[rng.Intn(len(alive))]
+}
+
+// FairShuffle activates nodes in "time units": each unit is a fresh random
+// permutation of the live nodes, so every node activates exactly once per
+// unit. This is the paper's asynchronous fairness assumption in Section
+// 4.2 ("each node activates at least once per unit time") and the schedule
+// the α-synchronizer experiment (E5) uses.
+type FairShuffle struct {
+	perm []int
+	pos  int
+}
+
+// Pick implements Scheduler.
+func (s *FairShuffle) Pick(alive []int, rng *rand.Rand) int {
+	if s.pos >= len(s.perm) || len(s.perm) != len(alive) {
+		s.perm = append(s.perm[:0], alive...)
+		rng.Shuffle(len(s.perm), func(i, j int) { s.perm[i], s.perm[j] = s.perm[j], s.perm[i] })
+		s.pos = 0
+	}
+	v := s.perm[s.pos]
+	s.pos++
+	return v
+}
+
+// Adversarial wraps an arbitrary pick function, for worst-case schedules
+// in tests (e.g. starving one node as long as the model allows).
+type Adversarial struct {
+	PickFunc func(alive []int, rng *rand.Rand) int
+}
+
+// Pick implements Scheduler.
+func (a Adversarial) Pick(alive []int, rng *rand.Rand) int {
+	return a.PickFunc(alive, rng)
+}
+
+// RunAsync performs asynchronous activations under the scheduler until
+// done returns true (checked after every activation) or maxActivations is
+// reached. Dead nodes are pruned from the candidate set automatically. It
+// reports the number of activations performed and whether done fired.
+func (net *Network[S]) RunAsync(sched Scheduler, seed int64, maxActivations int, done func(net *Network[S]) bool) (activations int, finished bool) {
+	rng := rand.New(rand.NewSource(mix(seed, -1)))
+	var alive []int
+	for a := 0; a < maxActivations; a++ {
+		alive = net.G.Nodes(alive[:0])
+		if len(alive) == 0 {
+			return a, false
+		}
+		v := sched.Pick(alive, rng)
+		net.Activate(v)
+		if done != nil && done(net) {
+			return a + 1, true
+		}
+	}
+	return maxActivations, done == nil
+}

@@ -1,0 +1,82 @@
+package fssga
+
+import "math/rand"
+
+// SemiLattice is the automaton family the paper's Section 5 singles out as
+// providing "automatic fault-tolerance": the node state evolves by joining
+// (in a semi-lattice: idempotent, commutative, associative Join) its own
+// state with every neighbour's. Iterated OR — the Flajolet–Martin census
+// update — is the canonical instance.
+//
+// Properties (tested in semilattice_test.go):
+//   - convergence: on a connected graph, every node reaches the join of
+//     all initial states within diameter synchronous rounds;
+//   - monotonicity: states only move up the lattice, so the algorithm is
+//     0-sensitive — any surviving connected component converges to the
+//     join of a set between its own initial states and the whole graph's.
+type SemiLattice[S comparable] struct {
+	// Join combines two lattice elements. It must be idempotent,
+	// commutative and associative; the engine does not verify this (use
+	// CheckSemiLattice in tests).
+	Join func(a, b S) S
+}
+
+// Step implements Automaton: the node joins itself with all neighbours.
+func (l SemiLattice[S]) Step(self S, view *View[S], rnd *rand.Rand) S {
+	out := self
+	view.ForEach(func(s S, _ int) {
+		out = l.Join(out, s)
+	})
+	return out
+}
+
+// CheckSemiLattice verifies the semi-lattice laws of join on the given
+// sample elements; it returns false on the first violation. Intended for
+// tests of concrete instantiations.
+func CheckSemiLattice[S comparable](join func(a, b S) S, elems []S) bool {
+	for _, a := range elems {
+		if join(a, a) != a {
+			return false // not idempotent
+		}
+		for _, b := range elems {
+			if join(a, b) != join(b, a) {
+				return false // not commutative
+			}
+			for _, c := range elems {
+				if join(join(a, b), c) != join(a, join(b, c)) {
+					return false // not associative
+				}
+			}
+		}
+	}
+	return true
+}
+
+// MaxJoin is the max semi-lattice on ints.
+func MaxJoin(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinJoin is the min semi-lattice on ints (the paper's "infimum
+// functions").
+func MinJoin(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// OrJoin is the bitwise-OR semi-lattice on uint64 masks.
+func OrJoin(a, b uint64) uint64 { return a | b }
+
+// GCDJoin is the greatest-common-divisor semi-lattice on positive ints
+// (join = gcd, moving down the divisibility order).
+func GCDJoin(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

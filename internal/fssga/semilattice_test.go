@@ -1,0 +1,136 @@
+package fssga
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestCheckSemiLatticeLaws(t *testing.T) {
+	ints := []int{0, 1, 2, 5, 7, 12}
+	if !CheckSemiLattice(MaxJoin, ints) {
+		t.Fatal("max is a semi-lattice")
+	}
+	if !CheckSemiLattice(MinJoin, ints) {
+		t.Fatal("min is a semi-lattice")
+	}
+	pos := []int{1, 2, 3, 4, 6, 12}
+	if !CheckSemiLattice(GCDJoin, pos) {
+		t.Fatal("gcd is a semi-lattice")
+	}
+	masks := []uint64{0, 1, 2, 3, 0b1010}
+	if !CheckSemiLattice(OrJoin, masks) {
+		t.Fatal("or is a semi-lattice")
+	}
+	// Subtraction-like operation is not.
+	if CheckSemiLattice(func(a, b int) int { return a - b }, ints) {
+		t.Fatal("subtraction accepted as a semi-lattice")
+	}
+	// Addition is commutative/associative but not idempotent.
+	if CheckSemiLattice(func(a, b int) int { return a + b }, []int{1, 2}) {
+		t.Fatal("addition accepted as a semi-lattice")
+	}
+}
+
+func TestSemiLatticeConvergesWithinDiameter(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(30)
+		g := graph.RandomConnectedGNP(n, 0.12, rng)
+		diam := g.Diameter()
+		net := New[int](g, SemiLattice[int]{Join: MaxJoin}, func(v int) int { return v * 3 }, seed)
+		for r := 0; r < diam; r++ {
+			net.SyncRound()
+		}
+		want := 3 * (n - 1)
+		for v := 0; v < n; v++ {
+			if net.State(v) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSemiLatticeGCD(t *testing.T) {
+	g := graph.Cycle(6)
+	// Initial values 6, 10, 15, 6, 10, 15: global gcd 1.
+	vals := []int{6, 10, 15, 6, 10, 15}
+	net := New[int](g, SemiLattice[int]{Join: GCDJoin}, func(v int) int { return vals[v] }, 1)
+	net.RunSyncUntilQuiescent(100)
+	for v := 0; v < 6; v++ {
+		if net.State(v) != 1 {
+			t.Fatalf("state[%d] = %d, want 1", v, net.State(v))
+		}
+	}
+}
+
+// 0-sensitivity: any surviving connected component converges to the join
+// over a set between the component's initial values and the whole graph's.
+func TestSemiLatticeZeroSensitive(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(20)
+		g := graph.RandomConnectedGNP(n, 0.2, rng)
+		net := New[int](g, SemiLattice[int]{Join: MaxJoin}, func(v int) int { return v }, seed)
+		// Interleave a few random faults with rounds.
+		for i := 0; i < 5; i++ {
+			net.SyncRound()
+			if rng.Intn(2) == 0 {
+				g.RemoveNode(rng.Intn(n))
+			} else {
+				es := g.Edges()
+				if len(es) > 0 {
+					e := es[rng.Intn(len(es))]
+					g.RemoveEdge(e.U, e.V)
+				}
+			}
+		}
+		net.RunSyncUntilQuiescent(10 * n)
+		// Every component agrees on a value >= its own max initial value
+		// and <= the global max.
+		for _, comp := range g.Components() {
+			val := net.State(comp[0])
+			compMax := 0
+			for _, v := range comp {
+				if net.State(v) != val {
+					return false
+				}
+				if v > compMax {
+					compMax = v
+				}
+			}
+			if val < compMax || val > n-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSemiLatticeMonotone(t *testing.T) {
+	// States never move down the lattice during a run.
+	g := graph.Grid(4, 4)
+	net := New[int](g, SemiLattice[int]{Join: MaxJoin}, func(v int) int { return v }, 1)
+	prev := make([]int, 16)
+	for v := range prev {
+		prev[v] = net.State(v)
+	}
+	for r := 0; r < 10; r++ {
+		net.SyncRound()
+		for v := 0; v < 16; v++ {
+			if net.State(v) < prev[v] {
+				t.Fatalf("round %d: node %d moved down %d -> %d", r, v, prev[v], net.State(v))
+			}
+			prev[v] = net.State(v)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteDOT renders the live subgraph in Graphviz DOT format, so runs can
+// be inspected visually (`dot -Tsvg`). The optional attr callback supplies
+// per-node attribute strings (e.g. `label="leader" color=red`); return ""
+// for defaults.
+func (g *Graph) WriteDOT(w io.Writer, name string, attr func(v int) string) error {
+	if name == "" {
+		name = "G"
+	}
+	if _, err := fmt.Fprintf(w, "graph %s {\n", name); err != nil {
+		return err
+	}
+	var nodes []int
+	nodes = g.Nodes(nodes)
+	sort.Ints(nodes)
+	for _, v := range nodes {
+		a := ""
+		if attr != nil {
+			a = attr(v)
+		}
+		var err error
+		if a != "" {
+			_, err = fmt.Fprintf(w, "  n%d [%s];\n", v, a)
+		} else {
+			_, err = fmt.Fprintf(w, "  n%d;\n", v)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(w, "  n%d -- n%d;\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

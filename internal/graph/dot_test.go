@@ -1,0 +1,45 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := Path(3)
+	g.RemoveNode(2)
+	var buf bytes.Buffer
+	err := g.WriteDOT(&buf, "p", func(v int) string {
+		if v == 0 {
+			return `color=red`
+		}
+		return ""
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph p {", "n0 [color=red];", "n1;", "n0 -- n1;", "}"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "n2") {
+		t.Fatal("dead node rendered")
+	}
+}
+
+func TestWriteDOTDefaults(t *testing.T) {
+	g := Cycle(3)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "graph G {") {
+		t.Fatalf("default name missing:\n%s", buf.String())
+	}
+	if c := strings.Count(buf.String(), " -- "); c != 3 {
+		t.Fatalf("edge count = %d", c)
+	}
+}

@@ -1,0 +1,321 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustValid(t *testing.T, g *Graph) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPath(t *testing.T) {
+	g := Path(5)
+	mustValid(t, g)
+	if g.NumNodes() != 5 || g.NumEdges() != 4 {
+		t.Fatalf("P5: n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 2 || g.Degree(4) != 1 {
+		t.Fatal("P5 degrees wrong")
+	}
+	if !g.Connected() {
+		t.Fatal("P5 disconnected")
+	}
+	if g.Diameter() != 4 {
+		t.Fatalf("P5 diameter = %d", g.Diameter())
+	}
+}
+
+func TestPathDegenerate(t *testing.T) {
+	if g := Path(1); g.NumNodes() != 1 || g.NumEdges() != 0 {
+		t.Fatal("P1 wrong")
+	}
+	if g := Path(2); g.NumEdges() != 1 {
+		t.Fatal("P2 wrong")
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g := Cycle(6)
+	mustValid(t, g)
+	if g.NumEdges() != 6 {
+		t.Fatalf("C6: m=%d", g.NumEdges())
+	}
+	for v := 0; v < 6; v++ {
+		if g.Degree(v) != 2 {
+			t.Fatalf("C6 degree(%d)=%d", v, g.Degree(v))
+		}
+	}
+	if len(g.Bridges()) != 0 {
+		t.Fatal("cycle has no bridges")
+	}
+}
+
+func TestCycleTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Cycle(2) should panic")
+		}
+	}()
+	Cycle(2)
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(6)
+	mustValid(t, g)
+	if g.NumEdges() != 15 {
+		t.Fatalf("K6: m=%d", g.NumEdges())
+	}
+	if g.Diameter() != 1 {
+		t.Fatalf("K6 diameter = %d", g.Diameter())
+	}
+}
+
+func TestStarAndWheel(t *testing.T) {
+	s := Star(8)
+	mustValid(t, s)
+	if s.Degree(0) != 7 || s.NumEdges() != 7 {
+		t.Fatal("Star(8) wrong")
+	}
+	w := Wheel(8)
+	mustValid(t, w)
+	if w.Degree(0) != 7 {
+		t.Fatal("Wheel hub degree wrong")
+	}
+	for v := 1; v < 8; v++ {
+		if w.Degree(v) != 3 {
+			t.Fatalf("Wheel rim degree(%d)=%d", v, w.Degree(v))
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	mustValid(t, g)
+	if g.NumNodes() != 12 {
+		t.Fatal("grid node count")
+	}
+	// Edges: 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8 = 17.
+	if g.NumEdges() != 17 {
+		t.Fatalf("grid m=%d, want 17", g.NumEdges())
+	}
+	if g.Degree(0) != 2 { // corner
+		t.Fatal("grid corner degree")
+	}
+	if g.Degree(5) != 4 { // interior (1,1)
+		t.Fatal("grid interior degree")
+	}
+	if g.Diameter() != 5 { // (3-1)+(4-1)
+		t.Fatalf("grid diameter = %d", g.Diameter())
+	}
+}
+
+func TestTorus(t *testing.T) {
+	g := Torus(4, 5)
+	mustValid(t, g)
+	if g.NumEdges() != 2*4*5 {
+		t.Fatalf("torus m=%d, want 40", g.NumEdges())
+	}
+	for v := 0; v < 20; v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("torus degree(%d)=%d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g := Hypercube(4)
+	mustValid(t, g)
+	if g.NumNodes() != 16 || g.NumEdges() != 32 {
+		t.Fatalf("Q4: n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if g.Diameter() != 4 {
+		t.Fatalf("Q4 diameter = %d", g.Diameter())
+	}
+	if !g.IsBipartite() {
+		t.Fatal("hypercube must be bipartite")
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	g := CompleteBipartite(3, 4)
+	mustValid(t, g)
+	if g.NumEdges() != 12 {
+		t.Fatal("K_{3,4} edge count")
+	}
+	if !g.IsBipartite() {
+		t.Fatal("K_{3,4} must be bipartite")
+	}
+}
+
+func TestBinaryTree(t *testing.T) {
+	g := BinaryTree(15)
+	mustValid(t, g)
+	if g.NumEdges() != 14 {
+		t.Fatal("tree edge count")
+	}
+	if !g.Connected() {
+		t.Fatal("tree disconnected")
+	}
+	if len(g.Bridges()) != 14 {
+		t.Fatal("every tree edge is a bridge")
+	}
+}
+
+func TestBarbell(t *testing.T) {
+	g := Barbell(5, 3)
+	mustValid(t, g)
+	// n = 2*5 + 3 - 1 = 12; m = 2*C(5,2) + 3 = 23.
+	if g.NumNodes() != 12 || g.NumEdges() != 23 {
+		t.Fatalf("barbell n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if !g.Connected() {
+		t.Fatal("barbell disconnected")
+	}
+	if len(g.Bridges()) != 3 {
+		t.Fatalf("barbell bridges = %d, want 3", len(g.Bridges()))
+	}
+}
+
+func TestBarbellSingleBridge(t *testing.T) {
+	g := Barbell(4, 1)
+	mustValid(t, g)
+	if g.NumNodes() != 8 || len(g.Bridges()) != 1 {
+		t.Fatalf("barbell(4,1): n=%d bridges=%d", g.NumNodes(), len(g.Bridges()))
+	}
+}
+
+func TestLollipop(t *testing.T) {
+	g := Lollipop(5, 4)
+	mustValid(t, g)
+	if g.NumNodes() != 9 {
+		t.Fatal("lollipop node count")
+	}
+	if len(g.Bridges()) != 4 {
+		t.Fatalf("lollipop bridges = %d, want 4", len(g.Bridges()))
+	}
+}
+
+func TestTheta(t *testing.T) {
+	g := Theta(2, 3, 4)
+	mustValid(t, g)
+	if g.NumNodes() != 11 {
+		t.Fatal("theta node count")
+	}
+	if g.NumEdges() != 3+2+3+4 { // each path of k internal nodes has k+1 edges
+		t.Fatalf("theta m=%d", g.NumEdges())
+	}
+	if len(g.Bridges()) != 0 {
+		t.Fatal("theta graph has no bridges")
+	}
+	if !g.Connected() {
+		t.Fatal("theta disconnected")
+	}
+}
+
+func TestCycleWithChords(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := CycleWithChords(20, 5, rng)
+	mustValid(t, g)
+	if g.NumEdges() != 25 {
+		t.Fatalf("m=%d, want 25", g.NumEdges())
+	}
+	if len(g.Bridges()) != 0 {
+		t.Fatal("cycle+chords has no bridges")
+	}
+}
+
+func TestRandomTreeProperties(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		g := RandomTree(n, rng)
+		return g.Validate() == nil && g.NumEdges() == n-1 && g.Connected()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomGNPBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g0 := RandomGNP(30, 0, rng)
+	if g0.NumEdges() != 0 {
+		t.Fatal("G(n,0) has edges")
+	}
+	g1 := RandomGNP(30, 1, rng)
+	if g1.NumEdges() != 30*29/2 {
+		t.Fatal("G(n,1) not complete")
+	}
+}
+
+func TestRandomConnectedGNPAlwaysConnected(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		g := RandomConnectedGNP(n, 0.05, rng)
+		return g.Validate() == nil && g.Connected()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomBipartiteIsBipartiteAndConnected(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := 1 + rng.Intn(15)
+		b := 1 + rng.Intn(15)
+		g := RandomBipartite(a, b, 0.3, rng)
+		return g.Validate() == nil && g.IsBipartite() && g.Connected()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomRegularishDegrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := RandomRegularish(100, 6, rng)
+	mustValid(t, g)
+	if !g.Connected() {
+		t.Fatal("regularish disconnected")
+	}
+	for v := 0; v < 100; v++ {
+		d := g.Degree(v)
+		if d < 2 || d > 10 {
+			t.Fatalf("degree(%d)=%d far from 6", v, d)
+		}
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	cases := []func(){
+		func() { Star(1) },
+		func() { Wheel(3) },
+		func() { Grid(0, 3) },
+		func() { Torus(2, 3) },
+		func() { Hypercube(0) },
+		func() { Barbell(2, 1) },
+		func() { Barbell(3, 0) },
+		func() { Lollipop(2, 1) },
+		func() { Theta(0, 1, 1) },
+		func() { RandomGNP(3, 1.5, rand.New(rand.NewSource(1))) },
+		func() { RandomBipartite(0, 3, 0.5, rand.New(rand.NewSource(1))) },
+		func() { RandomRegularish(5, 1, rand.New(rand.NewSource(1))) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,271 @@
+// Package graph provides the undirected-graph substrate for the FSSGA
+// simulator: a mutable graph type supporting the paper's "decreasing benign
+// fault" model (nodes and edges may be deleted but never added after
+// construction), a library of topology generators used by the experiments,
+// and centralized oracle algorithms (connectivity, BFS distances, Tarjan
+// bridges, bipartiteness) against which distributed outputs are validated.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a simple undirected graph on nodes 0..Cap()-1. Nodes may be
+// removed (marking them dead) and edges may be removed, but nothing may be
+// added after the edge-construction phase; this matches the decreasing
+// benign fault model of Pritchard & Vempala (SPAA 2006), Section 1.
+//
+// The zero value is an empty graph; use New to allocate nodes.
+type Graph struct {
+	adj    []map[int]struct{}
+	alive  []bool
+	nAlive int
+	mAlive int
+	sealed bool
+}
+
+// New returns a graph with n live nodes, numbered 0..n-1, and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	g := &Graph{
+		adj:    make([]map[int]struct{}, n),
+		alive:  make([]bool, n),
+		nAlive: n,
+	}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]struct{})
+		g.alive[i] = true
+	}
+	return g
+}
+
+// Cap returns the number of node slots ever allocated, including dead nodes.
+// Valid node IDs are 0..Cap()-1.
+func (g *Graph) Cap() int { return len(g.adj) }
+
+// NumNodes returns the number of live nodes.
+func (g *Graph) NumNodes() int { return g.nAlive }
+
+// NumEdges returns the number of live edges.
+func (g *Graph) NumEdges() int { return g.mAlive }
+
+// Alive reports whether node v exists and has not been removed.
+func (g *Graph) Alive(v int) bool {
+	return v >= 0 && v < len(g.alive) && g.alive[v]
+}
+
+// AddEdge inserts the undirected edge {u, v}. It panics on self-loops, dead
+// or out-of-range endpoints, and after Seal has been called: in the fault
+// model the topology only ever shrinks once the system starts.
+// Adding an existing edge is a no-op.
+func (g *Graph) AddEdge(u, v int) {
+	if g.sealed {
+		panic("graph: AddEdge after Seal (decreasing fault model forbids growth)")
+	}
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at node %d", u))
+	}
+	if !g.Alive(u) || !g.Alive(v) {
+		panic(fmt.Sprintf("graph: AddEdge(%d, %d) with dead or out-of-range endpoint", u, v))
+	}
+	if _, ok := g.adj[u][v]; ok {
+		return
+	}
+	g.adj[u][v] = struct{}{}
+	g.adj[v][u] = struct{}{}
+	g.mAlive++
+}
+
+// Seal marks the construction phase finished. After Seal, AddEdge panics
+// while RemoveEdge and RemoveNode remain available (faults only decrease).
+func (g *Graph) Seal() { g.sealed = true }
+
+// Sealed reports whether Seal has been called.
+func (g *Graph) Sealed() bool { return g.sealed }
+
+// HasEdge reports whether the live edge {u, v} exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if !g.Alive(u) || !g.Alive(v) {
+		return false
+	}
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// RemoveEdge deletes the edge {u, v} if present, reporting whether an edge
+// was removed. It models a benign edge fault.
+func (g *Graph) RemoveEdge(u, v int) bool {
+	if !g.HasEdge(u, v) {
+		return false
+	}
+	delete(g.adj[u], v)
+	delete(g.adj[v], u)
+	g.mAlive--
+	return true
+}
+
+// RemoveNode deletes node v and all incident edges, reporting whether a live
+// node was removed. It models a benign node fault.
+func (g *Graph) RemoveNode(v int) bool {
+	if !g.Alive(v) {
+		return false
+	}
+	for u := range g.adj[v] {
+		delete(g.adj[u], v)
+		g.mAlive--
+	}
+	g.adj[v] = make(map[int]struct{})
+	g.alive[v] = false
+	g.nAlive--
+	return true
+}
+
+// Degree returns the number of live neighbours of v, or 0 if v is dead.
+func (g *Graph) Degree(v int) int {
+	if !g.Alive(v) {
+		return 0
+	}
+	return len(g.adj[v])
+}
+
+// MaxDegree returns the maximum degree over live nodes (0 for an empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := range g.adj {
+		if g.alive[v] && len(g.adj[v]) > max {
+			max = len(g.adj[v])
+		}
+	}
+	return max
+}
+
+// Neighbors appends the live neighbours of v to buf and returns the extended
+// slice. The order is unspecified; callers needing determinism should sort.
+func (g *Graph) Neighbors(v int, buf []int) []int {
+	if !g.Alive(v) {
+		return buf
+	}
+	for u := range g.adj[v] {
+		buf = append(buf, u)
+	}
+	return buf
+}
+
+// NeighborsSorted returns the live neighbours of v in increasing order.
+func (g *Graph) NeighborsSorted(v int) []int {
+	ns := g.Neighbors(v, nil)
+	sort.Ints(ns)
+	return ns
+}
+
+// Nodes appends the IDs of all live nodes, in increasing order, to buf.
+func (g *Graph) Nodes(buf []int) []int {
+	for v := range g.adj {
+		if g.alive[v] {
+			buf = append(buf, v)
+		}
+	}
+	return buf
+}
+
+// Edge is an undirected edge with U < V.
+type Edge struct {
+	U, V int
+}
+
+// NormEdge returns the canonical (min, max) form of an edge.
+func NormEdge(u, v int) Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{u, v}
+}
+
+// Edges returns all live edges in canonical, sorted order.
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, g.mAlive)
+	for v := range g.adj {
+		if !g.alive[v] {
+			continue
+		}
+		for u := range g.adj[v] {
+			if v < u {
+				es = append(es, Edge{v, u})
+			}
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].U != es[j].U {
+			return es[i].U < es[j].U
+		}
+		return es[i].V < es[j].V
+	})
+	return es
+}
+
+// Clone returns a deep copy, preserving dead nodes and the sealed flag.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		adj:    make([]map[int]struct{}, len(g.adj)),
+		alive:  make([]bool, len(g.alive)),
+		nAlive: g.nAlive,
+		mAlive: g.mAlive,
+		sealed: g.sealed,
+	}
+	copy(c.alive, g.alive)
+	for v, set := range g.adj {
+		c.adj[v] = make(map[int]struct{}, len(set))
+		for u := range set {
+			c.adj[v][u] = struct{}{}
+		}
+	}
+	return c
+}
+
+// Validate checks internal invariants (symmetric adjacency, no self-loops,
+// dead nodes isolated, edge count consistent) and returns the first
+// violation found, or nil. It is used by property-based tests.
+func (g *Graph) Validate() error {
+	m2 := 0
+	for v, set := range g.adj {
+		if !g.alive[v] && len(set) != 0 {
+			return fmt.Errorf("graph: dead node %d has %d neighbours", v, len(set))
+		}
+		for u := range set {
+			if u == v {
+				return fmt.Errorf("graph: self-loop at %d", v)
+			}
+			if u < 0 || u >= len(g.adj) {
+				return fmt.Errorf("graph: node %d adjacent to out-of-range %d", v, u)
+			}
+			if !g.alive[u] {
+				return fmt.Errorf("graph: live node %d adjacent to dead node %d", v, u)
+			}
+			if _, ok := g.adj[u][v]; !ok {
+				return fmt.Errorf("graph: asymmetric edge (%d,%d)", v, u)
+			}
+			m2++
+		}
+	}
+	if m2 != 2*g.mAlive {
+		return fmt.Errorf("graph: edge count mismatch: counted %d half-edges, recorded %d edges", m2, g.mAlive)
+	}
+	nA := 0
+	for _, a := range g.alive {
+		if a {
+			nA++
+		}
+	}
+	if nA != g.nAlive {
+		return fmt.Errorf("graph: node count mismatch: counted %d, recorded %d", nA, g.nAlive)
+	}
+	return nil
+}
+
+// String returns a short human-readable summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d cap=%d}", g.nAlive, g.mAlive, len(g.adj))
+}

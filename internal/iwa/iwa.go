@@ -1,0 +1,237 @@
+// Package iwa implements the isotonic web automaton model of Milgram
+// (cited as [14] in Pritchard & Vempala, SPAA 2006, Section 5.1): a
+// single finite-state agent moves over a graph whose nodes carry labels
+// from a finite set. Each transition rule fires on the agent's state, the
+// label of its position, and the presence/absence of a given label in the
+// position's neighbourhood; its effect relabels the position, optionally
+// moves the agent to a neighbour carrying a specified label, and changes
+// the agent's state.
+//
+// The package also implements both directions of the Section 5.1
+// equivalence:
+//
+//   - SimulateRound: an IWA-style agent simulates one synchronous FSSGA
+//     round in Θ(m) agent steps, by traversing the nodes and gathering
+//     each node's neighbour multiset one edge at a time (the Lemma 3.8
+//     counter technique). This is an interpreter-level simulation — the
+//     agent machinery is driven directly rather than compiled into a rule
+//     table; the step accounting matches the construction it stands in
+//     for (recorded in DESIGN.md).
+//
+//   - Simulator (in simulate.go): an FSSGA network simulates an IWA with
+//     O(log Δ) delay per agent move, electing the destination with the
+//     Section 4.4 coin-flip tournament.
+package iwa
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fssga"
+	"repro/internal/graph"
+	"repro/internal/sm"
+)
+
+// NoMove in Rule.MoveLabel means the agent stays put.
+const NoMove = -1
+
+// NoCond in Rule.CondLabel means the rule has no neighbourhood condition.
+const NoCond = -1
+
+// Rule is one IWA transition rule.
+type Rule struct {
+	State    int // agent state the rule requires
+	CurLabel int // label of the agent's position the rule requires
+	// CondLabel/CondPresent: the rule requires label CondLabel to be
+	// present (CondPresent) or absent among the position's neighbours.
+	// CondLabel == NoCond means no condition.
+	CondLabel   int
+	CondPresent bool
+	NewLabel    int // relabelling of the position
+	// MoveLabel: the agent steps to a uniformly random neighbour carrying
+	// this label (NoMove = stay). A rule with MoveLabel >= 0 only fires
+	// if such a neighbour exists.
+	MoveLabel int
+	NewState  int
+}
+
+// Machine is an IWA rule table; the first applicable rule fires.
+type Machine struct {
+	NumStates int
+	NumLabels int
+	Rules     []Rule
+}
+
+// Validate checks rule ranges.
+func (m *Machine) Validate() error {
+	if m.NumStates < 1 || m.NumLabels < 1 {
+		return fmt.Errorf("iwa: need states and labels >= 1")
+	}
+	for i, r := range m.Rules {
+		if r.State < 0 || r.State >= m.NumStates || r.NewState < 0 || r.NewState >= m.NumStates {
+			return fmt.Errorf("iwa: rule %d state out of range", i)
+		}
+		if r.CurLabel < 0 || r.CurLabel >= m.NumLabels || r.NewLabel < 0 || r.NewLabel >= m.NumLabels {
+			return fmt.Errorf("iwa: rule %d label out of range", i)
+		}
+		if r.CondLabel != NoCond && (r.CondLabel < 0 || r.CondLabel >= m.NumLabels) {
+			return fmt.Errorf("iwa: rule %d condition label out of range", i)
+		}
+		if r.MoveLabel != NoMove && (r.MoveLabel < 0 || r.MoveLabel >= m.NumLabels) {
+			return fmt.Errorf("iwa: rule %d move label out of range", i)
+		}
+	}
+	return nil
+}
+
+// Run is a live IWA execution.
+type Run struct {
+	M      *Machine
+	G      *graph.Graph
+	Labels []int
+	Pos    int
+	State  int
+	Steps  int // agent moves taken
+	Fires  int // rules fired
+	Halted bool
+}
+
+// NewRun starts the machine at `start` with the given initial labels.
+func NewRun(m *Machine, g *graph.Graph, labels []int, start int) (*Run, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if !g.Alive(start) {
+		return nil, fmt.Errorf("iwa: start node %d is not live", start)
+	}
+	if len(labels) != g.Cap() {
+		return nil, fmt.Errorf("iwa: got %d labels for %d nodes", len(labels), g.Cap())
+	}
+	for v, l := range labels {
+		if g.Alive(v) && (l < 0 || l >= m.NumLabels) {
+			return nil, fmt.Errorf("iwa: label %d at node %d out of range", l, v)
+		}
+	}
+	return &Run{M: m, G: g, Labels: append([]int(nil), labels...), Pos: start}, nil
+}
+
+// applicable reports whether rule r can fire at the current configuration
+// and returns the matching move candidates.
+func (run *Run) applicable(r Rule) (bool, []int) {
+	if r.State != run.State || r.CurLabel != run.Labels[run.Pos] {
+		return false, nil
+	}
+	if r.CondLabel != NoCond {
+		present := false
+		for _, u := range run.G.NeighborsSorted(run.Pos) {
+			if run.Labels[u] == r.CondLabel {
+				present = true
+				break
+			}
+		}
+		if present != r.CondPresent {
+			return false, nil
+		}
+	}
+	if r.MoveLabel == NoMove {
+		return true, nil
+	}
+	var cands []int
+	for _, u := range run.G.NeighborsSorted(run.Pos) {
+		if run.Labels[u] == r.MoveLabel {
+			cands = append(cands, u)
+		}
+	}
+	if len(cands) == 0 {
+		return false, nil
+	}
+	return true, cands
+}
+
+// Step fires the first applicable rule. It returns false (and sets
+// Halted) when no rule applies.
+func (run *Run) Step(rng *rand.Rand) bool {
+	if run.Halted {
+		return false
+	}
+	for _, r := range run.M.Rules {
+		ok, cands := run.applicable(r)
+		if !ok {
+			continue
+		}
+		run.Labels[run.Pos] = r.NewLabel
+		run.State = r.NewState
+		if len(cands) > 0 {
+			run.Pos = cands[rng.Intn(len(cands))]
+			run.Steps++
+		}
+		run.Fires++
+		return true
+	}
+	run.Halted = true
+	return false
+}
+
+// RunSteps fires up to k rules, returning the number fired.
+func (run *Run) RunSteps(k int, rng *rand.Rand) int {
+	for i := 0; i < k; i++ {
+		if !run.Step(rng) {
+			return i
+		}
+	}
+	return k
+}
+
+// SimulateRound performs one synchronous round of the formal FSSGA (Q, f)
+// on states using an IWA-style agent, returning the successor state
+// vector and the number of agent steps taken. The agent walks node to
+// node; at each node it inspects every incident edge (two agent steps per
+// edge: out and back) to collect the neighbour multiset, then computes
+// f[q] exactly as the node itself would. Total cost: Θ(m) agent steps per
+// simulated round — the Section 5.1 slowdown.
+func SimulateRound(g *graph.Graph, auto *fssga.FormalAutomaton, states []int) (next []int, agentSteps int, err error) {
+	if len(states) != g.Cap() {
+		return nil, 0, fmt.Errorf("iwa: got %d states for %d nodes", len(states), g.Cap())
+	}
+	next = make([]int, len(states))
+	copy(next, states)
+	var order []int
+	order = g.Nodes(order)
+	prev := -1
+	for _, v := range order {
+		if g.Degree(v) == 0 {
+			continue
+		}
+		// Walk from the previous node to v (distance along a path in the
+		// graph); charge the true walking distance.
+		if prev >= 0 {
+			d := g.BFSDistances(prev)[v]
+			if d == graph.Unreachable {
+				return nil, 0, fmt.Errorf("iwa: node %d unreachable from %d", v, prev)
+			}
+			agentSteps += d
+		}
+		prev = v
+		// Collect the neighbour multiset one incident edge at a time.
+		var qs []int
+		for range g.NeighborsSorted(v) {
+			agentSteps += 2 // out along the edge and back
+		}
+		for _, u := range g.NeighborsSorted(v) {
+			qs = append(qs, states[u])
+		}
+		// Evaluate f[q] like the node would (deterministic automata only).
+		if auto.R != 1 {
+			return nil, 0, fmt.Errorf("iwa: SimulateRound supports deterministic automata only")
+		}
+		sm := auto.F[states[v]][0]
+		out := sm.Eval(sortedCopy(qs))
+		if out < 0 || out >= auto.NumQ {
+			return nil, 0, fmt.Errorf("iwa: f[%d] returned out-of-range state %d", states[v], out)
+		}
+		next[v] = out
+	}
+	return next, agentSteps, nil
+}
+
+func sortedCopy(qs []int) []int { return sm.SortedCopy(qs) }

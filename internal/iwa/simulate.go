@@ -1,0 +1,247 @@
+package iwa
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fssga"
+	"repro/internal/graph"
+)
+
+// This file implements the other direction of the Section 5.1
+// equivalence: an FSSGA network simulating an IWA with O(log Δ) delay per
+// agent move. The agent's position is a token held by one node; a rule's
+// "move to any neighbour with label ℓ" is resolved by the Section 4.4
+// coin-flip elimination tournament restricted to label-ℓ neighbours,
+// costing Θ(log d) synchronous rounds.
+
+// Tour is the tournament sub-state of the FSSGA-simulating-IWA automaton.
+type Tour int8
+
+// Tournament sub-states.
+const (
+	TNone Tour = iota
+	THeads
+	TTails
+	TEliminated
+	TFlip
+	TWaiting
+	TNoTails
+	TOneTails
+	THalted // agent only: no rule applies
+)
+
+// SimState is a node's state in the simulating FSSGA.
+type SimState struct {
+	Label  int8
+	Agent  bool
+	AState int8 // IWA agent state (meaningful when Agent)
+	Tour   Tour
+	Target int8 // label being elected (agent only, during a tournament)
+}
+
+// simAutomaton simulates one IWA machine.
+type simAutomaton struct {
+	m *Machine
+}
+
+// Step implements fssga.Automaton.
+func (a simAutomaton) Step(self SimState, view *fssga.View[SimState], rnd *rand.Rand) SimState {
+	if self.Agent {
+		return a.agentStep(self, view, rnd)
+	}
+	return a.contestantStep(self, view, rnd)
+}
+
+func (a simAutomaton) agentStep(self SimState, view *fssga.View[SimState], rnd *rand.Rand) SimState {
+	switch self.Tour {
+	case THalted:
+		return self
+	case TNone:
+		// Decide: fire the first applicable rule.
+		for _, r := range a.m.Rules {
+			if int(self.AState) != r.State || int(self.Label) != r.CurLabel {
+				continue
+			}
+			if r.CondLabel != NoCond {
+				present := view.Any(func(t SimState) bool { return int(t.Label) == r.CondLabel })
+				if present != r.CondPresent {
+					continue
+				}
+			}
+			if r.MoveLabel != NoMove &&
+				view.None(func(t SimState) bool { return int(t.Label) == r.MoveLabel }) {
+				continue
+			}
+			self.Label = int8(r.NewLabel)
+			self.AState = int8(r.NewState)
+			if r.MoveLabel != NoMove {
+				self.Target = int8(r.MoveLabel)
+				self.Tour = TFlip
+			}
+			return self
+		}
+		self.Tour = THalted
+		return self
+	case TFlip, TNoTails:
+		self.Tour = TWaiting
+		return self
+	case TWaiting:
+		tails := view.Count(2, func(t SimState) bool {
+			return !t.Agent && t.Label == self.Target && t.Tour == TTails
+		})
+		switch tails {
+		case 0:
+			self.Tour = TNoTails
+		case 1:
+			self.Tour = TOneTails
+		default:
+			self.Tour = TFlip
+		}
+		return self
+	case TOneTails:
+		// Hand the agency to the winning contestant.
+		self.Agent = false
+		self.Tour = TNone
+		self.Target = 0
+		return self
+	default:
+		return self
+	}
+}
+
+func (a simAutomaton) contestantStep(self SimState, view *fssga.View[SimState], rnd *rand.Rand) SimState {
+	var agent SimState
+	sawAgent := false
+	view.ForEach(func(t SimState, _ int) {
+		if t.Agent {
+			agent = t
+			sawAgent = true
+		}
+	})
+	if !sawAgent || agent.Tour == TNone || agent.Tour == THalted {
+		self.Tour = TNone
+		return self
+	}
+	if self.Label != agent.Target {
+		self.Tour = TNone
+		return self
+	}
+	switch agent.Tour {
+	case TFlip:
+		if self.Tour == THeads {
+			self.Tour = TEliminated
+		} else if self.Tour != TEliminated {
+			self.Tour = coinTour(rnd)
+		}
+	case TNoTails:
+		if self.Tour == THeads {
+			self.Tour = coinTour(rnd)
+		}
+	case TOneTails:
+		if self.Tour == TTails {
+			// I win: become the agent, adopting its post-rule state.
+			self.Agent = true
+			self.AState = agent.AState
+			self.Tour = TNone
+		} else {
+			self.Tour = TNone
+		}
+	}
+	// TWaiting: hold.
+	return self
+}
+
+func coinTour(rnd *rand.Rand) Tour {
+	if rnd.Intn(2) == 0 {
+		return THeads
+	}
+	return TTails
+}
+
+// Simulator drives the FSSGA simulation of an IWA machine.
+type Simulator struct {
+	Net *fssga.Network[SimState]
+	// Rounds is the number of synchronous rounds executed.
+	Rounds int
+	// Moves is the number of agent hand-offs observed.
+	Moves int
+	pos   int
+}
+
+// NewSimulator builds the simulating network.
+func NewSimulator(m *Machine, g *graph.Graph, labels []int, start int, seed int64) (*Simulator, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if !g.Alive(start) {
+		return nil, fmt.Errorf("iwa: start node %d is not live", start)
+	}
+	if len(labels) != g.Cap() {
+		return nil, fmt.Errorf("iwa: got %d labels for %d nodes", len(labels), g.Cap())
+	}
+	net := fssga.New[SimState](g, simAutomaton{m: m}, func(v int) SimState {
+		return SimState{Label: int8(labels[v]), Agent: v == start}
+	}, seed)
+	return &Simulator{Net: net, pos: start}, nil
+}
+
+// AgentAt returns the node currently holding the agent (-1 if destroyed).
+func (s *Simulator) AgentAt() (int, bool) {
+	for v := 0; v < s.Net.G.Cap(); v++ {
+		if s.Net.G.Alive(v) && s.Net.State(v).Agent {
+			return v, true
+		}
+	}
+	return -1, false
+}
+
+// Halted reports whether the agent has halted (no rule applicable).
+func (s *Simulator) Halted() bool {
+	v, ok := s.AgentAt()
+	return ok && s.Net.State(v).Tour == THalted
+}
+
+// Round advances one synchronous round, tracking agent hand-offs. It
+// reports whether the agent still exists.
+func (s *Simulator) Round() bool {
+	s.Net.SyncRound()
+	s.Rounds++
+	pos, ok := s.AgentAt()
+	if !ok {
+		return false
+	}
+	if pos != s.pos {
+		s.pos = pos
+		s.Moves++
+	}
+	return true
+}
+
+// RunToHalt executes rounds until the agent halts or maxRounds pass,
+// reporting whether a halt was reached.
+func (s *Simulator) RunToHalt(maxRounds int) bool {
+	for r := 0; r < maxRounds; r++ {
+		if s.Halted() {
+			return true
+		}
+		if !s.Round() {
+			return false
+		}
+	}
+	return s.Halted()
+}
+
+// Labels extracts the current node labels (graph.Unreachable for dead
+// nodes).
+func (s *Simulator) Labels() []int {
+	out := make([]int, s.Net.G.Cap())
+	for v := range out {
+		if s.Net.G.Alive(v) {
+			out[v] = int(s.Net.State(v).Label)
+		} else {
+			out[v] = graph.Unreachable
+		}
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package sensitivity
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/graph"
+)
+
+func TestCriticalForChi(t *testing.T) {
+	g := graph.Path(5)
+	// Killing a χ node is critical.
+	if !criticalForChi(g, []int{2}, []faults.Event{faults.NodeAt(1, 2)}) {
+		t.Fatal("χ-node kill not critical")
+	}
+	// Killing a non-χ node that does not separate χ is not critical.
+	if criticalForChi(g, []int{0, 1}, []faults.Event{faults.NodeAt(1, 4)}) {
+		t.Fatal("harmless kill flagged critical")
+	}
+	// Separating two χ nodes is critical.
+	if !criticalForChi(g, []int{0, 4}, []faults.Event{faults.EdgeAt(1, 2, 3)}) {
+		t.Fatal("χ separation not critical")
+	}
+	// Empty χ: nothing is critical.
+	if criticalForChi(g, nil, []faults.Event{faults.NodeAt(1, 2)}) {
+		t.Fatal("empty χ flagged critical")
+	}
+	// Single χ node, edge fault elsewhere: not critical.
+	if criticalForChi(g, []int{0}, []faults.Event{faults.EdgeAt(1, 3, 4)}) {
+		t.Fatal("single-χ edge fault flagged critical")
+	}
+}
+
+func TestCensusProbeFaultFree(t *testing.T) {
+	p := CensusProbe(14, 8, 2)
+	g := graph.Grid(6, 6)
+	g.Seal()
+	rep := p.Run(g, nil, 5)
+	if rep.Critical || rep.MaxChi != 0 {
+		t.Fatalf("census χ must be empty: %+v", rep)
+	}
+	if !rep.Correct {
+		t.Fatal("fault-free census incorrect")
+	}
+}
+
+func TestCensusProbeSurvivesEdgeFaults(t *testing.T) {
+	correct := 0
+	const trials = 10
+	for i := int64(0); i < trials; i++ {
+		g := graph.Torus(5, 5)
+		g.Seal()
+		sched := faults.Schedule{
+			faults.EdgeAt(2, 0, 1),
+			faults.EdgeAt(4, 7, 8),
+			faults.EdgeAt(6, 12, 13),
+		}
+		rep := CensusProbe(14, 8, 2).Run(g, sched, 100+i)
+		if rep.Correct {
+			correct++
+		}
+	}
+	if correct < 8 {
+		t.Fatalf("census survived only %d/%d edge-faulted runs", correct, trials)
+	}
+}
+
+func TestShortestPathProbeZeroSensitive(t *testing.T) {
+	p := ShortestPathProbe(func(g *graph.Graph) []int { return []int{0} })
+	g := graph.Grid(5, 5)
+	g.Seal()
+	sched := faults.Schedule{
+		faults.EdgeAt(2, 1, 2),
+		faults.NodeAt(3, 12),
+		faults.EdgeAt(5, 20, 21),
+	}
+	rep := p.Run(g, sched, 3)
+	if !rep.Correct {
+		t.Fatal("shortest path incorrect under benign faults")
+	}
+	if rep.Critical {
+		t.Fatal("χ = ∅ can never be critical")
+	}
+}
+
+func TestGreedyTouristProbeNonCriticalFaults(t *testing.T) {
+	p := GreedyTouristProbe()
+	g := graph.Torus(4, 4)
+	g.Seal()
+	// Kill one far-away node early (agent starts at 0).
+	sched := faults.Schedule{faults.NodeAt(1, 10)}
+	rep := p.Run(g, sched, 4)
+	if rep.Critical {
+		t.Fatal("far node kill flagged critical")
+	}
+	if !rep.Correct {
+		t.Fatal("tourist failed under a non-critical fault")
+	}
+	if rep.MaxChi != 1 {
+		t.Fatalf("tourist MaxChi = %d, want 1", rep.MaxChi)
+	}
+}
+
+func TestMilgramProbeFaultFree(t *testing.T) {
+	p := MilgramProbe()
+	g := graph.Grid(3, 3)
+	g.Seal()
+	rep := p.Run(g, nil, 6)
+	if !rep.Correct {
+		t.Fatal("fault-free Milgram incorrect")
+	}
+	if rep.MaxChi < 1 {
+		t.Fatalf("MaxChi = %d", rep.MaxChi)
+	}
+}
+
+func TestBetaProbeBreaksOnInternalNode(t *testing.T) {
+	p := BetaProbe(20)
+	g := graph.Path(12)
+	g.Seal()
+	rep := p.Run(g, faults.Schedule{faults.NodeAt(5, 6)}, 1)
+	if !rep.Critical {
+		t.Fatal("internal node kill not critical for β")
+	}
+	if rep.Correct {
+		t.Fatal("β survived an internal node kill")
+	}
+	if rep.MaxChi < 10 {
+		t.Fatalf("β MaxChi = %d, want Θ(n)", rep.MaxChi)
+	}
+}
+
+func TestBetaProbeFaultFree(t *testing.T) {
+	p := BetaProbe(10)
+	g := graph.Grid(4, 4)
+	g.Seal()
+	rep := p.Run(g, nil, 1)
+	if !rep.Correct || rep.Critical {
+		t.Fatalf("fault-free β: %+v", rep)
+	}
+}
+
+func TestMeasureAggregation(t *testing.T) {
+	row := Measure(ShortestPathProbe(func(g *graph.Graph) []int { return []int{0} }), 6, 20, 0.05, 42)
+	if row.Trials != 6 {
+		t.Fatalf("trials = %d", row.Trials)
+	}
+	if row.CriticalRuns != 0 {
+		t.Fatalf("0-sensitive algorithm had critical runs: %+v", row)
+	}
+	if row.CorrectNonCrit != row.NonCritical {
+		t.Fatalf("0-sensitive algorithm failed non-critical runs: %+v", row)
+	}
+}
+
+func TestMeasureBetaMostlyFails(t *testing.T) {
+	row := Measure(BetaProbe(30), 8, 24, 0.15, 7)
+	// β has Θ(n) critical nodes: most fault schedules are critical.
+	if row.CriticalRuns == 0 {
+		t.Fatalf("β saw no critical runs across %d trials: %+v", row.Trials, row)
+	}
+	if row.MaxChi < 5 {
+		t.Fatalf("β MaxChi = %d", row.MaxChi)
+	}
+}
+
+func TestBridgesProbeFaultFree(t *testing.T) {
+	p := BridgesProbe()
+	g := graph.Barbell(4, 1)
+	g.Seal()
+	rep := p.Run(g, nil, 3)
+	if !rep.Correct || rep.Critical {
+		t.Fatalf("fault-free bridges probe: %+v", rep)
+	}
+	if rep.MaxChi != 1 {
+		t.Fatalf("MaxChi = %d", rep.MaxChi)
+	}
+}
+
+func TestBridgesProbeAgentKillCritical(t *testing.T) {
+	p := BridgesProbe()
+	g := graph.Cycle(6)
+	g.Seal()
+	// Kill node 0 (the start) immediately: critical.
+	rep := p.Run(g, faults.Schedule{faults.NodeAt(0, 0)}, 3)
+	if !rep.Critical {
+		t.Fatalf("agent-node kill not critical: %+v", rep)
+	}
+}
+
+func TestBridgesProbeEdgeFaultHarmless(t *testing.T) {
+	p := BridgesProbe()
+	correct := 0
+	const trials = 6
+	for i := int64(0); i < trials; i++ {
+		g := graph.Theta(2, 2, 3)
+		g.Seal()
+		// Remove one non-bridge edge early; the detector must stay
+		// reasonably correct.
+		sched := faults.Schedule{faults.EdgeAt(1, 0, 2)}
+		rep := p.Run(g, sched, 100+i)
+		if rep.Critical {
+			continue
+		}
+		if rep.Correct {
+			correct++
+		}
+	}
+	if correct < trials-1 {
+		t.Fatalf("bridges probe failed under harmless edge faults: %d/%d", correct, trials)
+	}
+}

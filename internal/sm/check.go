@@ -1,0 +1,295 @@
+package sm
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file decides whether a candidate program actually computes an SM
+// function. Two mechanisms are provided:
+//
+//   - Brute-force checks that enumerate sequences (and, for parallel
+//     programs, combination trees) up to a length bound. These directly
+//     instantiate Definitions 3.2 and 3.4 and are used as the reference in
+//     tests.
+//
+//   - Complete algebraic checks based on observational equivalence of
+//     working states (Myhill–Nerode style partition refinement). These are
+//     exact: CheckSequential accepts iff the program is an SM program for
+//     inputs of *every* length, by verifying that processing commutes up to
+//     observational equivalence at every reachable working state.
+//     CheckParallel likewise verifies commutativity and associativity of
+//     the combination on the reachable submonoid.
+
+// CheckSequential reports whether the sequential program computes a
+// symmetric function of its inputs (Definition 3.2), for all input lengths.
+//
+// Method: compute observational equivalence ≡ on working states (w1 ≡ w2
+// iff β(w1) = β(w2) and P[w1][q] ≡ P[w2][q] for all q, the coarsest such
+// relation). The program is SM iff for every working state w reachable from
+// w0 and all inputs q1, q2: P[P[w][q1]][q2] ≡ P[P[w][q2]][q1]. Adjacent
+// transpositions generate S_k, and equivalence is preserved by further
+// processing, so this is sound and complete.
+func CheckSequential(s *Sequential) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	class := seqObsClasses(s)
+	reach := seqReachable(s)
+	for w, ok := range reach {
+		if !ok {
+			continue
+		}
+		for q1 := 0; q1 < s.NumQ; q1++ {
+			for q2 := q1 + 1; q2 < s.NumQ; q2++ {
+				a := s.P[s.P[w][q1]][q2]
+				b := s.P[s.P[w][q2]][q1]
+				if class[a] != class[b] {
+					return fmt.Errorf("sm: sequential program not symmetric: at reachable state %d, inputs (%d,%d) vs (%d,%d) reach observationally distinct states %d, %d", w, q1, q2, q2, q1, a, b)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// seqReachable returns the set of working states reachable from w0 by
+// processing zero or more inputs.
+func seqReachable(s *Sequential) []bool {
+	reach := make([]bool, s.NumW())
+	stack := []int{s.W0}
+	reach[s.W0] = true
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for q := 0; q < s.NumQ; q++ {
+			n := s.P[w][q]
+			if !reach[n] {
+				reach[n] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	return reach
+}
+
+// seqObsClasses computes observational-equivalence classes of working
+// states by Moore partition refinement: initially partitioned by β, then
+// refined by successor classes under each input.
+func seqObsClasses(s *Sequential) []int {
+	n := s.NumW()
+	class := make([]int, n)
+	copy(class, s.Beta)
+	for {
+		// Signature = (current class, classes of successors).
+		next := make([]int, n)
+		index := make(map[string]int)
+		for w := 0; w < n; w++ {
+			sig := make([]byte, 0, 4*(s.NumQ+1))
+			sig = appendInt(sig, class[w])
+			for q := 0; q < s.NumQ; q++ {
+				sig = appendInt(sig, class[s.P[w][q]])
+			}
+			key := string(sig)
+			id, ok := index[key]
+			if !ok {
+				id = len(index)
+				index[key] = id
+			}
+			next[w] = id
+		}
+		if same(class, next) {
+			return class
+		}
+		class = next
+	}
+}
+
+func appendInt(b []byte, x int) []byte {
+	return append(b, byte(x), byte(x>>8), byte(x>>16), ',')
+}
+
+func same(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckParallel reports whether the parallel program computes a function
+// that is independent of input order and combination tree (Definition 3.4),
+// for all input lengths.
+//
+// Method: let S be the closure of α(Q) under the combination P (the
+// reachable working states). Compute the coarsest congruence ≡ such that
+// w1 ≡ w2 implies β(w1) = β(w2), P[w1][s] ≡ P[w2][s] and P[s][w1] ≡
+// P[s][w2] for every s ∈ S. The program is a parallel SM program iff P is
+// commutative and associative on S up to ≡.
+func CheckParallel(p *Parallel) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	reach := parReachable(p)
+	var S []int
+	for w, ok := range reach {
+		if ok {
+			S = append(S, w)
+		}
+	}
+	class := parObsClasses(p, S)
+	for _, a := range S {
+		for _, b := range S {
+			if class[p.P[a][b]] != class[p.P[b][a]] {
+				return fmt.Errorf("sm: parallel program not commutative: P[%d][%d]=%d vs P[%d][%d]=%d are observationally distinct", a, b, p.P[a][b], b, a, p.P[b][a])
+			}
+		}
+	}
+	for _, a := range S {
+		for _, b := range S {
+			for _, c := range S {
+				l := p.P[p.P[a][b]][c]
+				r := p.P[a][p.P[b][c]]
+				if class[l] != class[r] {
+					return fmt.Errorf("sm: parallel program not associative: (P[%d][%d])·%d = %d vs %d·(P[%d][%d]) = %d are observationally distinct", a, b, c, l, a, b, c, r)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// parReachable returns the closure of α(Q) under P.
+func parReachable(p *Parallel) []bool {
+	reach := make([]bool, p.NumW())
+	for _, a := range p.Alpha {
+		reach[a] = true
+	}
+	// Closure: repeatedly combine all reachable pairs.
+	for changed := true; changed; {
+		changed = false
+		var members []int
+		for w, ok := range reach {
+			if ok {
+				members = append(members, w)
+			}
+		}
+		for _, a := range members {
+			for _, b := range members {
+				c := p.P[a][b]
+				if !reach[c] {
+					reach[c] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// parObsClasses computes the coarsest congruence classes over all working
+// states, with contexts drawn from the reachable set S.
+func parObsClasses(p *Parallel, S []int) []int {
+	n := p.NumW()
+	class := make([]int, n)
+	copy(class, p.Beta)
+	for {
+		next := make([]int, n)
+		index := make(map[string]int)
+		for w := 0; w < n; w++ {
+			sig := make([]byte, 0, 4*(2*len(S)+1))
+			sig = appendInt(sig, class[w])
+			for _, s := range S {
+				sig = appendInt(sig, class[p.P[w][s]])
+				sig = appendInt(sig, class[p.P[s][w]])
+			}
+			key := string(sig)
+			id, ok := index[key]
+			if !ok {
+				id = len(index)
+				index[key] = id
+			}
+			next[w] = id
+		}
+		if same(class, next) {
+			return class
+		}
+		class = next
+	}
+}
+
+// BruteCheckSequential exhaustively verifies permutation-invariance of the
+// sequential program on all inputs of length <= maxLen. It instantiates
+// Definition 3.2 directly; adjacent transpositions suffice to generate S_k.
+func BruteCheckSequential(s *Sequential, maxLen int) error {
+	var err error
+	EnumSequences(s.NumQ, maxLen, func(qs []int) {
+		if err != nil {
+			return
+		}
+		base := s.Eval(qs)
+		for i := 0; i+1 < len(qs); i++ {
+			qs[i], qs[i+1] = qs[i+1], qs[i]
+			if got := s.Eval(qs); got != base {
+				err = fmt.Errorf("sm: sequential not symmetric on %v (swap at %d): %d vs %d", qs, i, got, base)
+			}
+			qs[i], qs[i+1] = qs[i+1], qs[i]
+		}
+	})
+	return err
+}
+
+// BruteCheckParallel exhaustively verifies order- and tree-independence of
+// the parallel program on all inputs of length <= maxLen, by evaluating
+// with the random-removal process many times per input and with the
+// left-fold and balanced trees. maxLen above 6 gets expensive.
+func BruteCheckParallel(p *Parallel, maxLen int, trials int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	var err error
+	EnumSequences(p.NumQ, maxLen, func(qs []int) {
+		if err != nil {
+			return
+		}
+		base := p.Eval(qs)
+		if got := p.EvalBalanced(qs); got != base {
+			err = fmt.Errorf("sm: parallel tree-dependent on %v: balanced %d vs left %d", qs, got, base)
+			return
+		}
+		for t := 0; t < trials; t++ {
+			if got := p.EvalRandomTree(qs, rng); got != base {
+				err = fmt.Errorf("sm: parallel order/tree-dependent on %v: random %d vs left %d", qs, got, base)
+				return
+			}
+		}
+		// Adjacent transpositions with the left-fold tree.
+		for i := 0; i+1 < len(qs); i++ {
+			qs[i], qs[i+1] = qs[i+1], qs[i]
+			if got := p.Eval(qs); got != base {
+				err = fmt.Errorf("sm: parallel not symmetric on %v (swap at %d): %d vs %d", qs, i, got, base)
+			}
+			qs[i], qs[i+1] = qs[i+1], qs[i]
+		}
+	})
+	return err
+}
+
+// Equivalent reports whether two SM functions agree on every input of
+// length <= maxLen (over alphabet numQ). Used to cross-validate the
+// Theorem 3.7 conversions.
+func Equivalent(f, g Func, numQ, maxLen int) error {
+	var err error
+	EnumMultisets(numQ, maxLen, func(mu []int) {
+		if err != nil {
+			return
+		}
+		qs := SeqFromMu(mu)
+		if a, b := f.Eval(qs), g.Eval(qs); a != b {
+			err = fmt.Errorf("sm: functions differ on %v: %d vs %d", qs, a, b)
+		}
+	})
+	return err
+}

@@ -1,0 +1,341 @@
+package sm
+
+import "fmt"
+
+// This file implements the three constructive conversions of Theorem 3.7:
+//
+//	Mod-Thresh ⊆ Parallel   (Lemma 3.8)
+//	Parallel   ⊆ Sequential (Lemma 3.5)
+//	Sequential ⊆ Mod-Thresh (Lemma 3.9)
+//
+// Each conversion returns a program computing the same function; the
+// constructions follow the paper's proofs exactly, including their
+// (possibly exponential) size blowups, which experiment E11 measures.
+
+// ParallelToSequential implements Lemma 3.5: W' = W ∪ {NIL}, w0 = NIL,
+// p'(NIL, q) = α(q), p'(w, q) = p(α(q), w).
+func ParallelToSequential(p *Parallel) (*Sequential, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	w := p.NumW()
+	nil_ := w // index of the NIL state
+	s := &Sequential{
+		NumQ: p.NumQ,
+		NumR: p.NumR,
+		W0:   nil_,
+		P:    make([][]int, w+1),
+		Beta: make([]int, w+1),
+	}
+	for wi := 0; wi < w; wi++ {
+		row := make([]int, p.NumQ)
+		for q := 0; q < p.NumQ; q++ {
+			row[q] = p.P[p.Alpha[q]][wi]
+		}
+		s.P[wi] = row
+		s.Beta[wi] = p.Beta[wi]
+	}
+	nilRow := make([]int, p.NumQ)
+	for q := 0; q < p.NumQ; q++ {
+		nilRow[q] = p.Alpha[q]
+	}
+	s.P[nil_] = nilRow
+	// β(NIL) is never consulted on Q^+ inputs; any value is fine.
+	s.Beta[nil_] = 0
+	return s, nil
+}
+
+// modThreshParams extracts, per input state i, the modulus M_i (lcm of all
+// moduli of mod atoms mentioning i, with 1) and the threshold bound T_i
+// (max over thresh atoms mentioning i, with 1), as defined in Lemma 3.8.
+func modThreshParams(m *ModThresh) (mods, threshes []int) {
+	mods = make([]int, m.NumQ)
+	threshes = make([]int, m.NumQ)
+	for i := range mods {
+		mods[i] = 1
+		threshes[i] = 1
+	}
+	for _, c := range m.Clauses {
+		c.Cond.visit(func(atom Prop) {
+			switch a := atom.(type) {
+			case ModAtom:
+				mods[a.State] = lcm(mods[a.State], a.Mod)
+			case ThreshAtom:
+				if a.T > threshes[a.State] {
+					threshes[a.State] = a.T
+				}
+			}
+		})
+	}
+	return mods, threshes
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b int) int { return a / gcd(a, b) * b }
+
+// ModThreshToParallel implements Lemma 3.8. The working state packs, for
+// each input state i, a counter a_i ∈ Z_{M_i} and a saturating counter
+// b_i ∈ {0..T_i} (value T_i playing the role of ∞: every atom "μ_i < t"
+// with t <= T_i is decided by min(μ_i, T_i)). α injects unit vectors and p
+// adds componentwise; β decodes the counters and runs the clause cascade.
+func ModThreshToParallel(m *ModThresh) (*Parallel, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	mods, threshes := modThreshParams(m)
+	// Mixed-radix encoding of the working state: per state i a pair
+	// (a_i < M_i, b_i <= T_i).
+	radix := make([]int, 0, 2*m.NumQ)
+	for i := 0; i < m.NumQ; i++ {
+		radix = append(radix, mods[i], threshes[i]+1)
+	}
+	total := 1
+	for _, r := range radix {
+		if total > 1<<22/r {
+			return nil, fmt.Errorf("sm: ModThreshToParallel working-state space too large (> 2^22)")
+		}
+		total *= r
+	}
+	encode := func(digits []int) int {
+		code := 0
+		for i := len(digits) - 1; i >= 0; i-- {
+			code = code*radix[i] + digits[i]
+		}
+		return code
+	}
+	decode := func(code int) []int {
+		digits := make([]int, len(radix))
+		for i := 0; i < len(radix); i++ {
+			digits[i] = code % radix[i]
+			code /= radix[i]
+		}
+		return digits
+	}
+
+	p := &Parallel{
+		NumQ:  m.NumQ,
+		NumR:  m.NumR,
+		Alpha: make([]int, m.NumQ),
+		P:     make([][]int, total),
+		Beta:  make([]int, total),
+	}
+	for q := 0; q < m.NumQ; q++ {
+		digits := make([]int, len(radix))
+		digits[2*q] = 1 % mods[q] // Dirac delta, reduced mod M_q
+		if threshes[q] >= 1 {
+			digits[2*q+1] = 1
+		}
+		p.Alpha[q] = encode(digits)
+	}
+	for w1 := 0; w1 < total; w1++ {
+		d1 := decode(w1)
+		row := make([]int, total)
+		for w2 := 0; w2 < total; w2++ {
+			d2 := decode(w2)
+			sum := make([]int, len(radix))
+			for i := 0; i < m.NumQ; i++ {
+				sum[2*i] = (d1[2*i] + d2[2*i]) % mods[i]
+				b := d1[2*i+1] + d2[2*i+1]
+				if b > threshes[i] {
+					b = threshes[i] // saturate at "∞"
+				}
+				sum[2*i+1] = b
+			}
+			row[w2] = encode(sum)
+		}
+		p.P[w1] = row
+		// β: run the clause cascade with each atom decided from the
+		// packed counters — the mod part via the a_i counter and the
+		// thresh part via the saturating b_i counter.
+		p.Beta[w1] = evalWithCounters(m, d1)
+	}
+	return p, nil
+}
+
+// evalWithCounters runs the clause cascade where each atom is decided from
+// the packed counters rather than a true multiplicity vector.
+func evalWithCounters(m *ModThresh, digits []int) int {
+	evalProp := func(p Prop) bool {
+		var rec func(p Prop) bool
+		rec = func(p Prop) bool {
+			switch a := p.(type) {
+			case ModAtom:
+				// a_i holds μ_i mod M_i and a.Mod divides M_i.
+				return digits[2*a.State]%a.Mod == a.Rem%a.Mod
+			case ThreshAtom:
+				// b_i = min(μ_i, T_i) and a.T <= T_i, so μ_i < T iff b_i < T.
+				return digits[2*a.State+1] < a.T
+			case Not:
+				return !rec(a.P)
+			case And:
+				for _, sub := range a.Ps {
+					if !rec(sub) {
+						return false
+					}
+				}
+				return true
+			case Or:
+				for _, sub := range a.Ps {
+					if rec(sub) {
+						return true
+					}
+				}
+				return false
+			default:
+				panic(fmt.Sprintf("sm: unknown proposition type %T", p))
+			}
+		}
+		return rec(p)
+	}
+	for _, c := range m.Clauses {
+		if evalProp(c.Cond) {
+			return c.Result
+		}
+	}
+	return m.Default
+}
+
+// iterateStructure finds the eventually-periodic structure of the iterates
+// g_j^{(z)}(w0) where g_j(x) = P[x][j]: the least t_j and m_j >= 1 such
+// that z1, z2 >= t_j and z1 ≡ z2 (mod m_j) imply equal iterates.
+func iterateStructure(s *Sequential, j int) (tail, period int) {
+	seen := map[int]int{} // state -> first index where g_j^{(index)}(w0) = state
+	w := s.W0
+	for idx := 0; ; idx++ {
+		if first, ok := seen[w]; ok {
+			return first, idx - first
+		}
+		seen[w] = idx
+		w = s.P[w][j]
+	}
+}
+
+// SequentialToModThresh implements Lemma 3.9. For each input state j it
+// finds the tail t_j and period m_j of the iterates of g_j on w0, then
+// enumerates all Π_j (t_j + m_j) equivalence-class combinations, emitting
+// one conjunction clause per combination whose result is the sequential
+// program's output on a representative input. The all-zero combination
+// corresponds to the (excluded) empty input and is skipped.
+func SequentialToModThresh(s *Sequential) (*ModThresh, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	numQ := s.NumQ
+	tails := make([]int, numQ)
+	periods := make([]int, numQ)
+	numClasses := make([]int, numQ)
+	totalClauses := 1
+	for j := 0; j < numQ; j++ {
+		tails[j], periods[j] = iterateStructure(s, j)
+		numClasses[j] = tails[j] + periods[j]
+		if totalClauses > 1<<22/numClasses[j] {
+			return nil, fmt.Errorf("sm: SequentialToModThresh clause count too large (> 2^22)")
+		}
+		totalClauses *= numClasses[j]
+	}
+
+	m := &ModThresh{NumQ: numQ, NumR: s.NumR}
+
+	// classAtom returns the proposition pinning μ_j to its class c, and a
+	// representative multiplicity for the class. Classes 0..t_j-1 are the
+	// singletons {c}; classes t_j..t_j+m_j-1 are the residue classes
+	// {n >= t_j : n ≡ rep (mod m_j)} with rep = the class's smallest member.
+	classAtom := func(j, c int) (Prop, int) {
+		if c < tails[j] {
+			// Equation (4): μ_j < c+1 ∧ ¬(μ_j < c). For c = 0 the second
+			// conjunct "¬(μ_j < 0)" is vacuously true and is omitted.
+			if c == 0 {
+				return ThreshAtom{State: j, T: 1}, 0
+			}
+			return And{Ps: []Prop{
+				ThreshAtom{State: j, T: c + 1},
+				Not{P: ThreshAtom{State: j, T: c}},
+			}}, c
+		}
+		// Equation (5): ¬(μ_j < t_j) ∧ μ_j ≡ rep (mod m_j).
+		rep := c // smallest member >= t_j in this residue class
+		props := []Prop{ModAtom{State: j, Rem: rep % periods[j], Mod: periods[j]}}
+		if tails[j] > 0 {
+			props = append([]Prop{Not{P: ThreshAtom{State: j, T: tails[j]}}}, props...)
+		}
+		return And{Ps: props}, rep
+	}
+
+	combo := make([]int, numQ)
+	var rec func(j int)
+	rec = func(j int) {
+		if j == numQ {
+			props := make([]Prop, 0, numQ)
+			rep := make([]int, numQ)
+			total := 0
+			for i := 0; i < numQ; i++ {
+				p, r := classAtom(i, combo[i])
+				props = append(props, p)
+				rep[i] = r
+				total += r
+			}
+			if total == 0 {
+				// Every class's smallest member is 0. If some class is a
+				// residue class it also contains larger members (the next
+				// being its period), so the combination covers nonempty
+				// inputs: bump that representative. If all classes are the
+				// singleton {0}, only the (excluded) empty input matches.
+				bumped := false
+				for i := 0; i < numQ && !bumped; i++ {
+					if combo[i] >= tails[i] {
+						rep[i] += periods[i]
+						total += periods[i]
+						bumped = true
+					}
+				}
+				if !bumped {
+					return // empty input only: unreachable on Q^+
+				}
+			}
+			m.Clauses = append(m.Clauses, Clause{
+				Cond:   And{Ps: props},
+				Result: s.Eval(SeqFromMu(rep)),
+			})
+			return
+		}
+		for c := 0; c < numClasses[j]; c++ {
+			combo[j] = c
+			rec(j + 1)
+		}
+	}
+	rec(0)
+
+	// Use the final clause as the default arm (Definition 3.6 has c-1
+	// conditions and c results).
+	if len(m.Clauses) > 0 {
+		last := m.Clauses[len(m.Clauses)-1]
+		m.Clauses = m.Clauses[:len(m.Clauses)-1]
+		m.Default = last.Result
+	}
+	return m, nil
+}
+
+// SequentialToParallel composes Lemmas 3.9 and 3.8, completing the cycle
+// Sequential → Mod-Thresh → Parallel.
+func SequentialToParallel(s *Sequential) (*Parallel, error) {
+	mt, err := SequentialToModThresh(s)
+	if err != nil {
+		return nil, err
+	}
+	return ModThreshToParallel(mt)
+}
+
+// ModThreshToSequential composes Lemmas 3.8 and 3.5.
+func ModThreshToSequential(m *ModThresh) (*Sequential, error) {
+	p, err := ModThreshToParallel(m)
+	if err != nil {
+		return nil, err
+	}
+	return ParallelToSequential(p)
+}

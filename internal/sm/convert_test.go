@@ -1,0 +1,287 @@
+package sm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// These tests cross-validate the Theorem 3.7 conversions: every conversion
+// must preserve the computed function on all inputs up to a length bound,
+// and the outputs must pass the symmetry checkers.
+
+func TestParallelToSequentialOR(t *testing.T) {
+	// Parallel OR: W = {0, 1}, α = id, p = max, β = id.
+	p := &Parallel{
+		NumQ:  2,
+		NumR:  2,
+		Alpha: []int{0, 1},
+		P:     [][]int{{0, 1}, {1, 1}},
+		Beta:  []int{0, 1},
+	}
+	if err := CheckParallel(p); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParallelToSequential(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckSequential(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := Equivalent(p, s, 2, 7); err != nil {
+		t.Fatal(err)
+	}
+	// The construction adds exactly one NIL state.
+	if s.NumW() != p.NumW()+1 {
+		t.Fatalf("NumW = %d, want %d", s.NumW(), p.NumW()+1)
+	}
+}
+
+func TestParallelToSequentialProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := RandomCommutativeMonoidParallel(1+rng.Intn(3), 2+rng.Intn(3), 4, 3, rng)
+		s, err := ParallelToSequential(p)
+		if err != nil {
+			return false
+		}
+		return CheckSequential(s) == nil && Equivalent(p, s, p.NumQ, 5) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModThreshToParallelAnyPresent(t *testing.T) {
+	m := AnyPresent(3, 1)
+	p, err := ModThreshToParallel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckParallel(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := Equivalent(m, p, 3, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModThreshToParallelParity(t *testing.T) {
+	m := Parity(2, 0)
+	p, err := ModThreshToParallel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Equivalent(m, p, 2, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModThreshToParallelProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := RandomModThresh(1+rng.Intn(2), 2+rng.Intn(3), 1+rng.Intn(3), 4, 3, rng)
+		p, err := ModThreshToParallel(m)
+		if err != nil {
+			return false
+		}
+		return CheckParallel(p) == nil && Equivalent(m, p, m.NumQ, 6) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialToModThreshOR(t *testing.T) {
+	s := orSequential()
+	m, err := SequentialToModThresh(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Equivalent(s, m, 2, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialToModThreshParity(t *testing.T) {
+	s := paritySequential()
+	m, err := SequentialToModThresh(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Equivalent(s, m, 2, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialToModThreshProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := RandomCounterSequential(1+rng.Intn(3), 2+rng.Intn(3), 3, 2, rng)
+		m, err := SequentialToModThresh(s)
+		if err != nil {
+			return false
+		}
+		return m.Validate() == nil && Equivalent(s, m, s.NumQ, 6) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Full cycle: Sequential → Mod-Thresh → Parallel → Sequential preserves the
+// function. This is the constructive content of Theorem 3.7.
+func TestFullConversionCycle(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s0 := RandomCounterSequential(1+rng.Intn(2), 2+rng.Intn(2), 3, 2, rng)
+		mt, err := SequentialToModThresh(s0)
+		if err != nil {
+			return false
+		}
+		par, err := ModThreshToParallel(mt)
+		if err != nil {
+			return false
+		}
+		s1, err := ParallelToSequential(par)
+		if err != nil {
+			return false
+		}
+		return Equivalent(s0, mt, s0.NumQ, 5) == nil &&
+			Equivalent(mt, par, s0.NumQ, 5) == nil &&
+			Equivalent(par, s1, s0.NumQ, 5) == nil &&
+			CheckSequential(s1) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialToParallelComposite(t *testing.T) {
+	s := orSequential()
+	p, err := SequentialToParallel(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Equivalent(s, p, 2, 7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModThreshToSequentialComposite(t *testing.T) {
+	m := AtLeast(2, 1, 2)
+	s, err := ModThreshToSequential(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Equivalent(m, s, 2, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckSequential(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConversionRejectsInvalidPrograms(t *testing.T) {
+	bad := &Parallel{NumQ: 0}
+	if _, err := ParallelToSequential(bad); err == nil {
+		t.Fatal("invalid parallel accepted")
+	}
+	badM := &ModThresh{NumQ: 0}
+	if _, err := ModThreshToParallel(badM); err == nil {
+		t.Fatal("invalid mod-thresh accepted")
+	}
+	badS := &Sequential{NumQ: 0}
+	if _, err := SequentialToModThresh(badS); err == nil {
+		t.Fatal("invalid sequential accepted")
+	}
+}
+
+func TestModThreshToParallelSizeGuard(t *testing.T) {
+	// A program with huge thresholds on many states must be rejected
+	// rather than allocating an enormous table.
+	m := &ModThresh{NumQ: 6, NumR: 2, Default: 0}
+	for q := 0; q < 6; q++ {
+		m.Clauses = append(m.Clauses, Clause{
+			Cond:   ThreshAtom{State: q, T: 50},
+			Result: 1,
+		})
+	}
+	if _, err := ModThreshToParallel(m); err == nil {
+		t.Fatal("oversized conversion accepted")
+	}
+}
+
+func TestIterateStructure(t *testing.T) {
+	// g_1 on the parity machine cycles 0 -> 1 -> 0: tail 0, period 2.
+	s := paritySequential()
+	tail, period := iterateStructure(s, 1)
+	if tail != 0 || period != 2 {
+		t.Fatalf("parity iterates: tail=%d period=%d, want 0, 2", tail, period)
+	}
+	// g_0 is the identity: tail 0, period 1.
+	tail, period = iterateStructure(s, 0)
+	if tail != 0 || period != 1 {
+		t.Fatalf("identity iterates: tail=%d period=%d, want 0, 1", tail, period)
+	}
+	// OR machine on input 1: 0 -> 1 -> 1: tail 1, period 1.
+	tail, period = iterateStructure(orSequential(), 1)
+	if tail != 1 || period != 1 {
+		t.Fatalf("or iterates: tail=%d period=%d, want 1, 1", tail, period)
+	}
+}
+
+// Size accounting used by E11: conversions can blow up program size.
+func TestSizeAccounting(t *testing.T) {
+	s := orSequential()
+	if s.Size() != 4 {
+		t.Fatalf("seq size = %d", s.Size())
+	}
+	m, err := SequentialToModThresh(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() < 1 {
+		t.Fatal("mod-thresh size must be positive")
+	}
+	p, err := ModThreshToParallel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() <= 0 {
+		t.Fatal("parallel size must be positive")
+	}
+}
+
+// The Section 5 size-scaling remark, concretely: converting the capped
+// counter family (threshold N) to a parallel program multiplies the
+// working-state space by ~N — the w'(N) = O(2^{q(N)} w(N)) growth.
+func TestConversionBlowupScalesWithThreshold(t *testing.T) {
+	sizes := map[int]int{}
+	for _, cap := range []int{2, 4, 8, 16} {
+		m := CappedCount(2, 1, cap)
+		p, err := ModThreshToParallel(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[cap] = p.NumW()
+		if err := Equivalent(m, p, 2, 6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Working states grow linearly in the threshold (cap+1 counter values).
+	if sizes[16] <= sizes[2] {
+		t.Fatalf("no growth: %v", sizes)
+	}
+	ratio := float64(sizes[16]) / float64(sizes[2])
+	if ratio < 3 || ratio > 12 {
+		t.Fatalf("unexpected growth profile: %v (ratio %.1f, linear-in-threshold predicts ~5.7)", sizes, ratio)
+	}
+}

@@ -1,0 +1,94 @@
+package sm
+
+// This file enumerates entire program spaces for tiny alphabets, used to
+// explore the density of SM functions among all finite-state programs
+// (experiment E11's census of the model) and to cross-validate the
+// checkers exhaustively rather than on random samples.
+
+// Census summarizes an exhaustive scan of a program space.
+type Census struct {
+	Total     int // programs enumerated
+	Symmetric int // programs accepted by the (complete) checker
+	// DistinctFunctions counts the distinct SM functions realized, keyed
+	// by their value table on all inputs up to the probe length.
+	DistinctFunctions int
+}
+
+// EnumerateSequential calls visit for every sequential program with the
+// given alphabet sizes (all |W|^(|W|·|Q|) transition tables × |R|^|W| output
+// maps × |W| start states). The program passed to visit is reused; copy it
+// if retained. Sizes must be tiny: the space grows doubly exponentially.
+func EnumerateSequential(numQ, numW, numR int, visit func(*Sequential)) {
+	if numW > 3 || numQ > 2 || numR > 3 {
+		panic("sm: EnumerateSequential only supports tiny spaces (numW <= 3, numQ <= 2, numR <= 3)")
+	}
+	s := &Sequential{
+		NumQ: numQ,
+		NumR: numR,
+		P:    make([][]int, numW),
+		Beta: make([]int, numW),
+	}
+	for w := range s.P {
+		s.P[w] = make([]int, numQ)
+	}
+	cells := numW * numQ
+
+	var fillP func(i int)
+	var fillBeta func(i int)
+	fillBeta = func(i int) {
+		if i == numW {
+			for w0 := 0; w0 < numW; w0++ {
+				s.W0 = w0
+				visit(s)
+			}
+			return
+		}
+		for r := 0; r < numR; r++ {
+			s.Beta[i] = r
+			fillBeta(i + 1)
+		}
+	}
+	fillP = func(i int) {
+		if i == cells {
+			fillBeta(0)
+			return
+		}
+		w, q := i/numQ, i%numQ
+		for nxt := 0; nxt < numW; nxt++ {
+			s.P[w][q] = nxt
+			fillP(i + 1)
+		}
+	}
+	fillP(0)
+}
+
+// SequentialCensus exhaustively scans the sequential program space and
+// reports how many programs are SM and how many distinct SM functions
+// they realize (distinguished on all inputs up to probeLen).
+func SequentialCensus(numQ, numW, numR, probeLen int) Census {
+	var c Census
+	seen := make(map[string]bool)
+	EnumerateSequential(numQ, numW, numR, func(s *Sequential) {
+		c.Total++
+		if CheckSequential(s) != nil {
+			return
+		}
+		c.Symmetric++
+		key := functionKey(s, numQ, probeLen)
+		if !seen[key] {
+			seen[key] = true
+		}
+	})
+	c.DistinctFunctions = len(seen)
+	return c
+}
+
+// functionKey serializes a function's value table on all multisets up to
+// maxLen, so two programs computing the same SM function share a key.
+func functionKey(f Func, numQ, maxLen int) string {
+	var key []byte
+	EnumMultisets(numQ, maxLen, func(mu []int) {
+		key = append(key, byte('0'+f.Eval(SeqFromMu(mu))))
+	})
+	return string(key)
+}

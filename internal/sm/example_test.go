@@ -1,0 +1,64 @@
+package sm_test
+
+import (
+	"fmt"
+
+	"repro/internal/sm"
+)
+
+// ExampleModThresh builds the paper's atom language directly: the
+// function "some neighbour is in state 1" is the single thresh atom
+// ¬(μ₁ < 1).
+func ExampleModThresh() {
+	f := &sm.ModThresh{
+		NumQ: 2,
+		NumR: 2,
+		Clauses: []sm.Clause{
+			{Cond: sm.Not{P: sm.ThreshAtom{State: 1, T: 1}}, Result: 1},
+		},
+		Default: 0,
+	}
+	fmt.Println(f.Eval([]int{0, 0, 0}), f.Eval([]int{0, 1, 0}))
+	// Output:
+	// 0 1
+}
+
+// ExampleSequentialToModThresh converts a hand-written sequential
+// program (parity of 1-inputs) into the equivalent mod-thresh program of
+// Lemma 3.9.
+func ExampleSequentialToModThresh() {
+	parity := &sm.Sequential{
+		NumQ: 2, NumR: 2, W0: 0,
+		P:    [][]int{{0, 1}, {1, 0}},
+		Beta: []int{0, 1},
+	}
+	mt, err := sm.SequentialToModThresh(parity)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("equivalent:", sm.Equivalent(parity, mt, 2, 8) == nil)
+	fmt.Println("parity of [1 0 1 1]:", mt.Eval([]int{1, 0, 1, 1}))
+	// Output:
+	// equivalent: true
+	// parity of [1 0 1 1]: 1
+}
+
+// ExampleCheckSequential rejects the canonical non-symmetric program
+// ("remember the last input") and accepts OR.
+func ExampleCheckSequential() {
+	lastInput := &sm.Sequential{
+		NumQ: 2, NumR: 2, W0: 0,
+		P:    [][]int{{0, 1}, {0, 1}},
+		Beta: []int{0, 1},
+	}
+	or := &sm.Sequential{
+		NumQ: 2, NumR: 2, W0: 0,
+		P:    [][]int{{0, 1}, {1, 1}},
+		Beta: []int{0, 1},
+	}
+	fmt.Println("last-input symmetric:", sm.CheckSequential(lastInput) == nil)
+	fmt.Println("or symmetric:", sm.CheckSequential(or) == nil)
+	// Output:
+	// last-input symmetric: false
+	// or symmetric: true
+}

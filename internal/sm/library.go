@@ -1,0 +1,132 @@
+package sm
+
+// This file provides canonical SM functions from the paper, expressed as
+// mod-thresh programs. They double as fixtures for the conversion tests and
+// as building blocks for the FSSGA algorithms.
+
+// AnyPresent returns the mod-thresh program computing "1 if state q occurs
+// among the inputs, else 0" — the atom ¬(μ_q < 1).
+func AnyPresent(numQ, q int) *ModThresh {
+	return &ModThresh{
+		NumQ: numQ,
+		NumR: 2,
+		Clauses: []Clause{
+			{Cond: Not{P: ThreshAtom{State: q, T: 1}}, Result: 1},
+		},
+		Default: 0,
+	}
+}
+
+// AtLeast returns the program computing "1 if μ_q >= k, else 0".
+func AtLeast(numQ, q, k int) *ModThresh {
+	return &ModThresh{
+		NumQ: numQ,
+		NumR: 2,
+		Clauses: []Clause{
+			{Cond: Not{P: ThreshAtom{State: q, T: k}}, Result: 1},
+		},
+		Default: 0,
+	}
+}
+
+// Exactly returns the program computing "1 if μ_q == k, else 0" —
+// (μ_q < k+1) ∧ ¬(μ_q < k), Equation (4) of Lemma 3.9.
+func Exactly(numQ, q, k int) *ModThresh {
+	var cond Prop
+	if k == 0 {
+		cond = ThreshAtom{State: q, T: 1}
+	} else {
+		cond = And{Ps: []Prop{
+			ThreshAtom{State: q, T: k + 1},
+			Not{P: ThreshAtom{State: q, T: k}},
+		}}
+	}
+	return &ModThresh{
+		NumQ:    numQ,
+		NumR:    2,
+		Clauses: []Clause{{Cond: cond, Result: 1}},
+		Default: 0,
+	}
+}
+
+// Parity returns the program computing μ_q mod 2.
+func Parity(numQ, q int) *ModThresh {
+	return &ModThresh{
+		NumQ: numQ,
+		NumR: 2,
+		Clauses: []Clause{
+			{Cond: ModAtom{State: q, Rem: 1, Mod: 2}, Result: 1},
+		},
+		Default: 0,
+	}
+}
+
+// CountMod returns the program computing μ_q mod m (results 0..m-1).
+func CountMod(numQ, q, m int) *ModThresh {
+	mt := &ModThresh{NumQ: numQ, NumR: m}
+	for r := 1; r < m; r++ {
+		mt.Clauses = append(mt.Clauses, Clause{
+			Cond:   ModAtom{State: q, Rem: r, Mod: m},
+			Result: r,
+		})
+	}
+	mt.Default = 0
+	return mt
+}
+
+// CappedCount returns the program computing min(μ_q, cap) (results 0..cap).
+func CappedCount(numQ, q, cap int) *ModThresh {
+	mt := &ModThresh{NumQ: numQ, NumR: cap + 1}
+	for k := 0; k < cap; k++ {
+		var cond Prop
+		if k == 0 {
+			cond = ThreshAtom{State: q, T: 1}
+		} else {
+			cond = ThreshAtom{State: q, T: k + 1}
+		}
+		mt.Clauses = append(mt.Clauses, Clause{Cond: cond, Result: k})
+	}
+	mt.Default = cap
+	return mt
+}
+
+// BitwiseOR returns the program computing the bitwise OR of all inputs,
+// where the alphabet is the 2^bits masks. This is the per-activation update
+// of the Flajolet–Martin census (Section 1): v.m := v.m OR (OR of
+// neighbours). It is a semi-lattice function, hence SM.
+//
+// The construction: output has bit b set iff some input has bit b set,
+// which is the disjunction over states with bit b of ¬(μ_state < 1). The
+// clause order enumerates masks from largest to smallest so the first
+// matching clause is the exact OR.
+func BitwiseOR(bits int) *ModThresh {
+	if bits < 1 || bits > 8 {
+		panic("sm: BitwiseOR supports 1..8 bits")
+	}
+	n := 1 << uint(bits)
+	mt := &ModThresh{NumQ: n, NumR: n}
+	// For mask m (descending), the condition is: for each bit set in m,
+	// some input state has that bit; for each bit clear in m, no input
+	// state has that bit. Equivalently the OR equals exactly m.
+	for mask := n - 1; mask >= 1; mask-- {
+		var conj []Prop
+		for b := 0; b < bits; b++ {
+			// states with bit b set
+			var withBit []Prop
+			for q := 0; q < n; q++ {
+				if q&(1<<uint(b)) != 0 {
+					withBit = append(withBit, Not{P: ThreshAtom{State: q, T: 1}})
+				}
+			}
+			present := Or{Ps: withBit}
+			if mask&(1<<uint(b)) != 0 {
+				conj = append(conj, present)
+			} else {
+				conj = append(conj, Not{P: present})
+			}
+		}
+		mt.Clauses = append(mt.Clauses, Clause{Cond: And{Ps: conj}, Result: mask})
+	}
+	mt.Default = 0
+	return mt
+}

@@ -1,0 +1,218 @@
+package sm
+
+import "math/rand"
+
+// This file generates random SM programs for property-based testing and
+// for the conversion-blowup measurements of experiment E11.
+//
+// RandomCounterSequential and RandomModThresh generate programs that are
+// symmetric *by construction* (counter machines and μ-based cascades);
+// RandomSequential and RandomParallel generate arbitrary programs, which
+// are usually not symmetric, exercising the rejection paths of the
+// checkers.
+
+// RandomModThresh returns a random mod-thresh program over numQ input
+// states and numR results with the given number of clauses. Atoms use
+// moduli in 2..maxMod and thresholds in 1..maxThresh. Always a valid SM
+// program (Definition 3.6).
+func RandomModThresh(numQ, numR, clauses, maxMod, maxThresh int, rng *rand.Rand) *ModThresh {
+	m := &ModThresh{NumQ: numQ, NumR: numR, Default: rng.Intn(numR)}
+	var randAtom func() Prop
+	randAtom = func() Prop {
+		if rng.Intn(2) == 0 {
+			mod := 2 + rng.Intn(maxMod-1)
+			return ModAtom{State: rng.Intn(numQ), Rem: rng.Intn(mod), Mod: mod}
+		}
+		return ThreshAtom{State: rng.Intn(numQ), T: 1 + rng.Intn(maxThresh)}
+	}
+	var randProp func(depth int) Prop
+	randProp = func(depth int) Prop {
+		if depth == 0 || rng.Intn(2) == 0 {
+			return randAtom()
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return Not{P: randProp(depth - 1)}
+		case 1:
+			return And{Ps: []Prop{randProp(depth - 1), randProp(depth - 1)}}
+		default:
+			return Or{Ps: []Prop{randProp(depth - 1), randProp(depth - 1)}}
+		}
+	}
+	for i := 0; i < clauses; i++ {
+		m.Clauses = append(m.Clauses, Clause{Cond: randProp(2), Result: rng.Intn(numR)})
+	}
+	return m
+}
+
+// RandomCounterSequential returns a sequential program that is symmetric by
+// construction: the working state is a vector of per-input-state counters,
+// each either modular (period 2..maxMod) or saturating (cap 1..maxCap), and
+// β is a random function of the counter vector. Since counter updates
+// commute, the program passes CheckSequential.
+func RandomCounterSequential(numQ, numR, maxMod, maxCap int, rng *rand.Rand) *Sequential {
+	kind := make([]bool, numQ) // true = modular counter
+	size := make([]int, numQ)  // counter range per input state
+	total := 1
+	for j := 0; j < numQ; j++ {
+		kind[j] = rng.Intn(2) == 0
+		if kind[j] {
+			size[j] = 2 + rng.Intn(maxMod-1)
+		} else {
+			size[j] = 2 + rng.Intn(maxCap) // values 0..size-1, saturating at size-1
+		}
+		total *= size[j]
+	}
+	encode := func(digits []int) int {
+		code := 0
+		for i := numQ - 1; i >= 0; i-- {
+			code = code*size[i] + digits[i]
+		}
+		return code
+	}
+	s := &Sequential{
+		NumQ: numQ,
+		NumR: numR,
+		W0:   0,
+		P:    make([][]int, total),
+		Beta: make([]int, total),
+	}
+	for w := 0; w < total; w++ {
+		digits := make([]int, numQ)
+		code := w
+		for i := 0; i < numQ; i++ {
+			digits[i] = code % size[i]
+			code /= size[i]
+		}
+		row := make([]int, numQ)
+		for q := 0; q < numQ; q++ {
+			next := append([]int(nil), digits...)
+			if kind[q] {
+				next[q] = (next[q] + 1) % size[q]
+			} else if next[q] < size[q]-1 {
+				next[q]++
+			}
+			row[q] = encode(next)
+		}
+		s.P[w] = row
+		s.Beta[w] = rng.Intn(numR)
+	}
+	return s
+}
+
+// RandomSequential returns an arbitrary random sequential program; with
+// overwhelming probability it is not symmetric.
+func RandomSequential(numQ, numR, numW int, rng *rand.Rand) *Sequential {
+	s := &Sequential{
+		NumQ: numQ,
+		NumR: numR,
+		W0:   rng.Intn(numW),
+		P:    make([][]int, numW),
+		Beta: make([]int, numW),
+	}
+	for w := 0; w < numW; w++ {
+		row := make([]int, numQ)
+		for q := range row {
+			row[q] = rng.Intn(numW)
+		}
+		s.P[w] = row
+		s.Beta[w] = rng.Intn(numR)
+	}
+	return s
+}
+
+// RandomParallel returns an arbitrary random parallel program; with
+// overwhelming probability it is neither commutative nor associative.
+func RandomParallel(numQ, numR, numW int, rng *rand.Rand) *Parallel {
+	p := &Parallel{
+		NumQ:  numQ,
+		NumR:  numR,
+		Alpha: make([]int, numQ),
+		P:     make([][]int, numW),
+		Beta:  make([]int, numW),
+	}
+	for q := range p.Alpha {
+		p.Alpha[q] = rng.Intn(numW)
+	}
+	for w := 0; w < numW; w++ {
+		row := make([]int, numW)
+		for v := range row {
+			row[v] = rng.Intn(numW)
+		}
+		p.P[w] = row
+		p.Beta[w] = rng.Intn(numR)
+	}
+	return p
+}
+
+// RandomCommutativeMonoidParallel returns a parallel program built from a
+// random commutative-monoid structure: working states are vectors of
+// per-input modular/saturating counters combined by componentwise addition
+// (the same trick as Lemma 3.8), so it is a parallel SM program by
+// construction.
+func RandomCommutativeMonoidParallel(numQ, numR, maxMod, maxCap int, rng *rand.Rand) *Parallel {
+	kind := make([]bool, numQ)
+	size := make([]int, numQ)
+	total := 1
+	for j := 0; j < numQ; j++ {
+		kind[j] = rng.Intn(2) == 0
+		if kind[j] {
+			size[j] = 2 + rng.Intn(maxMod-1)
+		} else {
+			size[j] = 2 + rng.Intn(maxCap)
+		}
+		total *= size[j]
+	}
+	encode := func(digits []int) int {
+		code := 0
+		for i := numQ - 1; i >= 0; i-- {
+			code = code*size[i] + digits[i]
+		}
+		return code
+	}
+	decode := func(code int) []int {
+		digits := make([]int, numQ)
+		for i := 0; i < numQ; i++ {
+			digits[i] = code % size[i]
+			code /= size[i]
+		}
+		return digits
+	}
+	p := &Parallel{
+		NumQ:  numQ,
+		NumR:  numR,
+		Alpha: make([]int, numQ),
+		P:     make([][]int, total),
+		Beta:  make([]int, total),
+	}
+	for q := 0; q < numQ; q++ {
+		digits := make([]int, numQ)
+		digits[q] = 1 % size[q]
+		if !kind[q] {
+			digits[q] = 1
+		}
+		p.Alpha[q] = encode(digits)
+	}
+	for w1 := 0; w1 < total; w1++ {
+		d1 := decode(w1)
+		row := make([]int, total)
+		for w2 := 0; w2 < total; w2++ {
+			d2 := decode(w2)
+			sum := make([]int, numQ)
+			for i := 0; i < numQ; i++ {
+				if kind[i] {
+					sum[i] = (d1[i] + d2[i]) % size[i]
+				} else {
+					sum[i] = d1[i] + d2[i]
+					if sum[i] > size[i]-1 {
+						sum[i] = size[i] - 1
+					}
+				}
+			}
+			row[w2] = encode(sum)
+		}
+		p.P[w1] = row
+		p.Beta[w1] = rng.Intn(numR)
+	}
+	return p
+}

@@ -1,0 +1,528 @@
+// Package sm implements the symmetric multi-input (SM) finite-state
+// function machinery of Pritchard & Vempala (SPAA 2006), Section 3: the
+// three equivalent program models for SM functions —
+//
+//   - Sequential programs (W, w0, p, β): inputs are fed one at a time
+//     through a processing function (Definition 3.2);
+//   - Parallel programs (W, α, p, β): inputs are injected by α and reduced
+//     pairwise in an arbitrary binary combination tree (Definition 3.4);
+//   - Mod-Thresh programs: an if/else cascade of propositions built from
+//     "μ_i(q) ≡ r (mod m)" and "μ_i(q) < t" atoms (Definition 3.6);
+//
+// together with the constructive conversions proving all three classes
+// equal (Theorem 3.7), and validity checkers that decide whether a given
+// program actually computes a symmetric function.
+//
+// Throughout, the input alphabet is Q = {0, ..., NumQ-1} and the result
+// alphabet is R = {0, ..., NumR-1}; working states are {0, ..., |W|-1}.
+package sm
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Sequential is a sequential program (W, w0, p, β) per Definition 3.2.
+// It defines the function q⃗ ↦ β(p(...p(p(w0, q1), q2)..., qk)). The program
+// is a valid SM program only if the result is permutation-invariant; use
+// CheckSequential to verify.
+type Sequential struct {
+	NumQ int     // |Q|, input alphabet size
+	NumR int     // |R|, result alphabet size
+	W0   int     // distinguished start state
+	P    [][]int // P[w][q] = next working state
+	Beta []int   // Beta[w] = result in 0..NumR-1
+}
+
+// NumW returns |W|, the number of working states.
+func (s *Sequential) NumW() int { return len(s.P) }
+
+// Size returns the program size |W|·|Q| (transition table entries), used
+// for the blowup accounting of E11.
+func (s *Sequential) Size() int { return len(s.P) * s.NumQ }
+
+// Validate checks table shapes and ranges.
+func (s *Sequential) Validate() error {
+	if s.NumQ < 1 || s.NumR < 1 {
+		return fmt.Errorf("sm: sequential needs NumQ, NumR >= 1 (got %d, %d)", s.NumQ, s.NumR)
+	}
+	w := len(s.P)
+	if w == 0 {
+		return fmt.Errorf("sm: sequential has no working states")
+	}
+	if s.W0 < 0 || s.W0 >= w {
+		return fmt.Errorf("sm: start state %d out of range [0,%d)", s.W0, w)
+	}
+	if len(s.Beta) != w {
+		return fmt.Errorf("sm: Beta has %d entries, want %d", len(s.Beta), w)
+	}
+	for wi, row := range s.P {
+		if len(row) != s.NumQ {
+			return fmt.Errorf("sm: P[%d] has %d entries, want %d", wi, len(row), s.NumQ)
+		}
+		for q, nxt := range row {
+			if nxt < 0 || nxt >= w {
+				return fmt.Errorf("sm: P[%d][%d] = %d out of range", wi, q, nxt)
+			}
+		}
+	}
+	for wi, r := range s.Beta {
+		if r < 0 || r >= s.NumR {
+			return fmt.Errorf("sm: Beta[%d] = %d out of range [0,%d)", wi, r, s.NumR)
+		}
+	}
+	return nil
+}
+
+// Eval runs the program on the nonempty input sequence qs.
+func (s *Sequential) Eval(qs []int) int {
+	if len(qs) == 0 {
+		panic("sm: Sequential.Eval on empty input (SM functions take Q^+)")
+	}
+	w := s.W0
+	for _, q := range qs {
+		w = s.P[w][q]
+	}
+	return s.Beta[w]
+}
+
+// Parallel is a parallel program (W, α, p, β) per Definition 3.4. It
+// defines the function that injects each input via α and reduces the
+// resulting multiset pairwise with p in an arbitrary binary tree. The
+// program is a valid SM program only if the result is independent of both
+// the input order and the tree shape; use CheckParallel to verify.
+type Parallel struct {
+	NumQ  int
+	NumR  int
+	Alpha []int   // Alpha[q] = initial working state for input q
+	P     [][]int // P[w1][w2] = combined working state
+	Beta  []int
+}
+
+// NumW returns |W|.
+func (p *Parallel) NumW() int { return len(p.P) }
+
+// Size returns the program size |W|² + |Q| (combination table plus α).
+func (p *Parallel) Size() int { return len(p.P)*len(p.P) + p.NumQ }
+
+// Validate checks table shapes and ranges.
+func (p *Parallel) Validate() error {
+	if p.NumQ < 1 || p.NumR < 1 {
+		return fmt.Errorf("sm: parallel needs NumQ, NumR >= 1 (got %d, %d)", p.NumQ, p.NumR)
+	}
+	w := len(p.P)
+	if w == 0 {
+		return fmt.Errorf("sm: parallel has no working states")
+	}
+	if len(p.Alpha) != p.NumQ {
+		return fmt.Errorf("sm: Alpha has %d entries, want %d", len(p.Alpha), p.NumQ)
+	}
+	for q, a := range p.Alpha {
+		if a < 0 || a >= w {
+			return fmt.Errorf("sm: Alpha[%d] = %d out of range", q, a)
+		}
+	}
+	if len(p.Beta) != w {
+		return fmt.Errorf("sm: Beta has %d entries, want %d", len(p.Beta), w)
+	}
+	for w1, row := range p.P {
+		if len(row) != w {
+			return fmt.Errorf("sm: P[%d] has %d entries, want %d", w1, len(row), w)
+		}
+		for w2, nxt := range row {
+			if nxt < 0 || nxt >= w {
+				return fmt.Errorf("sm: P[%d][%d] = %d out of range", w1, w2, nxt)
+			}
+		}
+	}
+	for wi, r := range p.Beta {
+		if r < 0 || r >= p.NumR {
+			return fmt.Errorf("sm: Beta[%d] = %d out of range [0,%d)", wi, r, p.NumR)
+		}
+	}
+	return nil
+}
+
+// Eval evaluates using a left-comb combination tree
+// (((α(q1) ⊕ α(q2)) ⊕ α(q3)) ⊕ ...). For a valid parallel SM program every
+// tree gives the same answer, so this is the canonical evaluator.
+func (p *Parallel) Eval(qs []int) int {
+	if len(qs) == 0 {
+		panic("sm: Parallel.Eval on empty input (SM functions take Q^+)")
+	}
+	w := p.Alpha[qs[0]]
+	for _, q := range qs[1:] {
+		w = p.P[w][p.Alpha[q]]
+	}
+	return p.Beta[w]
+}
+
+// EvalBalanced evaluates with a balanced divide-and-conquer tree, the
+// "parallel" reduction shape of Figure 1.
+func (p *Parallel) EvalBalanced(qs []int) int {
+	if len(qs) == 0 {
+		panic("sm: Parallel.EvalBalanced on empty input")
+	}
+	var reduce func(lo, hi int) int
+	reduce = func(lo, hi int) int {
+		if hi-lo == 1 {
+			return p.Alpha[qs[lo]]
+		}
+		mid := (lo + hi) / 2
+		return p.P[reduce(lo, mid)][reduce(mid, hi)]
+	}
+	return p.Beta[reduce(0, len(qs))]
+}
+
+// EvalRandomTree evaluates with a uniformly random combination order: it
+// repeatedly removes two random elements from the working multiset and
+// inserts their combination, exactly the process described below
+// Definition 3.2. Used by property tests to confirm tree-independence.
+func (p *Parallel) EvalRandomTree(qs []int, rng *rand.Rand) int {
+	if len(qs) == 0 {
+		panic("sm: Parallel.EvalRandomTree on empty input")
+	}
+	work := make([]int, len(qs))
+	for i, q := range qs {
+		work[i] = p.Alpha[q]
+	}
+	for len(work) > 1 {
+		i := rng.Intn(len(work))
+		w1 := work[i]
+		work[i] = work[len(work)-1]
+		work = work[:len(work)-1]
+		j := rng.Intn(len(work))
+		w2 := work[j]
+		work[j] = p.P[w1][w2]
+	}
+	return p.Beta[work[0]]
+}
+
+// Prop is a mod-thresh proposition: a boolean combination of mod atoms
+// "μ_i(q⃗) ≡ r (mod m)" and thresh atoms "μ_i(q⃗) < t", evaluated against
+// the multiplicity vector mu (mu[i] = number of occurrences of state i).
+type Prop interface {
+	// Eval evaluates the proposition on a multiplicity vector.
+	Eval(mu []int) bool
+	// Atoms returns the number of atoms in the proposition.
+	Atoms() int
+	// String renders the proposition in the paper's notation.
+	String() string
+	// visit calls f on every atom in the proposition.
+	visit(f func(atom Prop))
+}
+
+// ModAtom is the atom "μ_State(q⃗) ≡ Rem (mod Mod)".
+type ModAtom struct {
+	State int
+	Rem   int
+	Mod   int
+}
+
+// Eval implements Prop.
+func (a ModAtom) Eval(mu []int) bool { return mu[a.State]%a.Mod == a.Rem%a.Mod }
+
+// Atoms implements Prop.
+func (a ModAtom) Atoms() int { return 1 }
+
+func (a ModAtom) String() string {
+	return fmt.Sprintf("μ%d ≡ %d (mod %d)", a.State, a.Rem, a.Mod)
+}
+
+func (a ModAtom) visit(f func(Prop)) { f(a) }
+
+// ThreshAtom is the atom "μ_State(q⃗) < T".
+type ThreshAtom struct {
+	State int
+	T     int
+}
+
+// Eval implements Prop.
+func (a ThreshAtom) Eval(mu []int) bool { return mu[a.State] < a.T }
+
+// Atoms implements Prop.
+func (a ThreshAtom) Atoms() int { return 1 }
+
+func (a ThreshAtom) String() string { return fmt.Sprintf("μ%d < %d", a.State, a.T) }
+
+func (a ThreshAtom) visit(f func(Prop)) { f(a) }
+
+// Not negates a proposition.
+type Not struct{ P Prop }
+
+// Eval implements Prop.
+func (n Not) Eval(mu []int) bool { return !n.P.Eval(mu) }
+
+// Atoms implements Prop.
+func (n Not) Atoms() int { return n.P.Atoms() }
+
+func (n Not) String() string { return "¬(" + n.P.String() + ")" }
+
+func (n Not) visit(f func(Prop)) { n.P.visit(f) }
+
+// And is the conjunction of its operands (true when empty).
+type And struct{ Ps []Prop }
+
+// Eval implements Prop.
+func (a And) Eval(mu []int) bool {
+	for _, p := range a.Ps {
+		if !p.Eval(mu) {
+			return false
+		}
+	}
+	return true
+}
+
+// Atoms implements Prop.
+func (a And) Atoms() int {
+	n := 0
+	for _, p := range a.Ps {
+		n += p.Atoms()
+	}
+	return n
+}
+
+func (a And) String() string { return joinProps(a.Ps, " ∧ ") }
+
+func (a And) visit(f func(Prop)) {
+	for _, p := range a.Ps {
+		p.visit(f)
+	}
+}
+
+// Or is the disjunction of its operands (false when empty).
+type Or struct{ Ps []Prop }
+
+// Eval implements Prop.
+func (o Or) Eval(mu []int) bool {
+	for _, p := range o.Ps {
+		if p.Eval(mu) {
+			return true
+		}
+	}
+	return false
+}
+
+// Atoms implements Prop.
+func (o Or) Atoms() int {
+	n := 0
+	for _, p := range o.Ps {
+		n += p.Atoms()
+	}
+	return n
+}
+
+func (o Or) String() string { return joinProps(o.Ps, " ∨ ") }
+
+func (o Or) visit(f func(Prop)) {
+	for _, p := range o.Ps {
+		p.visit(f)
+	}
+}
+
+func joinProps(ps []Prop, sep string) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = "(" + p.String() + ")"
+	}
+	return strings.Join(parts, sep)
+}
+
+// Clause is one "if P then return Result" arm of a mod-thresh program.
+type Clause struct {
+	Cond   Prop
+	Result int
+}
+
+// ModThresh is a mod-thresh program (P1..P_{c-1}; r1..r_c) per
+// Definition 3.6: clauses are tested in order and the first true condition
+// determines the result; Default is r_c. A mod-thresh program is
+// automatically an SM function since it reads q⃗ only through the μ_i.
+type ModThresh struct {
+	NumQ    int
+	NumR    int
+	Clauses []Clause
+	Default int
+}
+
+// Size returns the total number of atoms across all clauses (plus one for
+// the default arm), the natural size measure for blowup accounting.
+func (m *ModThresh) Size() int {
+	n := 1
+	for _, c := range m.Clauses {
+		n += c.Cond.Atoms()
+	}
+	return n
+}
+
+// Validate checks alphabet ranges for every atom and result.
+func (m *ModThresh) Validate() error {
+	if m.NumQ < 1 || m.NumR < 1 {
+		return fmt.Errorf("sm: mod-thresh needs NumQ, NumR >= 1 (got %d, %d)", m.NumQ, m.NumR)
+	}
+	if m.Default < 0 || m.Default >= m.NumR {
+		return fmt.Errorf("sm: default result %d out of range", m.Default)
+	}
+	var err error
+	check := func(atom Prop) {
+		if err != nil {
+			return
+		}
+		switch a := atom.(type) {
+		case ModAtom:
+			if a.State < 0 || a.State >= m.NumQ {
+				err = fmt.Errorf("sm: mod atom state %d out of range", a.State)
+			} else if a.Mod < 1 {
+				err = fmt.Errorf("sm: mod atom modulus %d < 1", a.Mod)
+			} else if a.Rem < 0 || a.Rem > a.Mod {
+				// The paper allows 0 <= r <= m.
+				err = fmt.Errorf("sm: mod atom remainder %d out of [0,%d]", a.Rem, a.Mod)
+			}
+		case ThreshAtom:
+			if a.State < 0 || a.State >= m.NumQ {
+				err = fmt.Errorf("sm: thresh atom state %d out of range", a.State)
+			} else if a.T < 1 {
+				err = fmt.Errorf("sm: thresh atom bound %d < 1", a.T)
+			}
+		}
+	}
+	for i, c := range m.Clauses {
+		if c.Result < 0 || c.Result >= m.NumR {
+			return fmt.Errorf("sm: clause %d result %d out of range", i, c.Result)
+		}
+		c.Cond.visit(check)
+		if err != nil {
+			return fmt.Errorf("sm: clause %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Multiplicities returns mu with mu[i] = number of occurrences of i in qs.
+func Multiplicities(qs []int, numQ int) []int {
+	mu := make([]int, numQ)
+	for _, q := range qs {
+		mu[q]++
+	}
+	return mu
+}
+
+// Eval runs the program on the nonempty input sequence qs.
+func (m *ModThresh) Eval(qs []int) int {
+	if len(qs) == 0 {
+		panic("sm: ModThresh.Eval on empty input (SM functions take Q^+)")
+	}
+	return m.EvalMu(Multiplicities(qs, m.NumQ))
+}
+
+// EvalMu runs the program directly on a multiplicity vector.
+func (m *ModThresh) EvalMu(mu []int) int {
+	for _, c := range m.Clauses {
+		if c.Cond.Eval(mu) {
+			return c.Result
+		}
+	}
+	return m.Default
+}
+
+// Func is the common interface of the three program models: an SM function
+// from Q^+ to R.
+type Func interface {
+	Eval(qs []int) int
+}
+
+// Compile-time checks that all three models satisfy Func.
+var (
+	_ Func = (*Sequential)(nil)
+	_ Func = (*Parallel)(nil)
+	_ Func = (*ModThresh)(nil)
+)
+
+// EnumSequences calls visit on every sequence over {0..numQ-1} of each
+// length in 1..maxLen, in lexicographic order. The slice passed to visit is
+// reused; copy it if retained. Used by the exhaustive cross-validators.
+func EnumSequences(numQ, maxLen int, visit func(qs []int)) {
+	qs := make([]int, 0, maxLen)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == 0 {
+			visit(qs)
+			return
+		}
+		for q := 0; q < numQ; q++ {
+			qs = append(qs, q)
+			rec(k - 1)
+			qs = qs[:len(qs)-1]
+		}
+	}
+	for L := 1; L <= maxLen; L++ {
+		rec(L)
+	}
+}
+
+// EnumMultisets calls visit on every multiplicity vector over numQ states
+// with total count in 1..maxTotal. The slice is reused.
+func EnumMultisets(numQ, maxTotal int, visit func(mu []int)) {
+	mu := make([]int, numQ)
+	var rec func(i, remaining int)
+	rec = func(i, remaining int) {
+		if i == numQ-1 {
+			mu[i] = remaining
+			total := 0
+			for _, c := range mu {
+				total += c
+			}
+			if total >= 1 {
+				visit(mu)
+			}
+			return
+		}
+		for c := 0; c <= remaining; c++ {
+			mu[i] = c
+			rec(i+1, remaining-c)
+		}
+	}
+	for total := 1; total <= maxTotal; total++ {
+		rec(0, total)
+	}
+}
+
+// SeqFromMu builds a canonical sorted sequence realizing the multiplicity
+// vector mu (state i repeated mu[i] times, ascending).
+func SeqFromMu(mu []int) []int {
+	var qs []int
+	for q, c := range mu {
+		for i := 0; i < c; i++ {
+			qs = append(qs, q)
+		}
+	}
+	return qs
+}
+
+// Permutations calls visit on every permutation of qs (the slice is
+// mutated in place and restored; copy inside visit if retained).
+func Permutations(qs []int, visit func([]int)) {
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(qs) {
+			visit(qs)
+			return
+		}
+		for i := k; i < len(qs); i++ {
+			qs[k], qs[i] = qs[i], qs[k]
+			rec(k + 1)
+			qs[k], qs[i] = qs[i], qs[k]
+		}
+	}
+	rec(0)
+}
+
+// SortedCopy returns a sorted copy of qs; two sequences are permutations of
+// each other iff their sorted copies are equal.
+func SortedCopy(qs []int) []int {
+	c := append([]int(nil), qs...)
+	sort.Ints(c)
+	return c
+}
