@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check build test race bench perf
+
+# Tier-1 verify path (ROADMAP.md): gofmt + build + vet + tests + race.
+check:
+	./scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race detector over the engine and algorithm layers — the packages with
+# goroutine-parallel rounds and per-worker scratch.
+race:
+	$(GO) test -race ./internal/fssga/... ./internal/algo/...
+
+bench:
+	$(GO) test -bench . -benchmem -run xxx .
+
+# Engine perf series (ns/op + allocs/op) recorded to BENCH_engine.json.
+perf:
+	$(GO) run ./cmd/fssga-bench -perf -out BENCH_engine.json

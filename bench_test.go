@@ -28,6 +28,7 @@ import (
 
 // BenchmarkCensus (table E1): full OR-diffusion census on G(n, p).
 func BenchmarkCensus(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	base := graph.RandomConnectedGNP(256, 0.02, rng)
 	cfg := census.Config{Bits: 14, Sketches: 8, Seed: 1}
@@ -43,6 +44,7 @@ func BenchmarkCensus(b *testing.B) {
 // BenchmarkBridges (table E2): random-walk bridge detection to the
 // O(c·mn·log n) step budget on a barbell.
 func BenchmarkBridges(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < b.N; i++ {
 		g := graph.Barbell(10, 2)
@@ -55,6 +57,7 @@ func BenchmarkBridges(b *testing.B) {
 // BenchmarkShortestPath (table E3): distance labels to quiescence on a
 // 16x16 grid.
 func BenchmarkShortestPath(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		g := graph.Grid(16, 16)
 		if _, err := shortestpath.Run(g, []int{0}, 4096, 1); err != nil {
@@ -65,6 +68,7 @@ func BenchmarkShortestPath(b *testing.B) {
 
 // BenchmarkTwoColor (table E4): bipartiteness verdict on an even cycle.
 func BenchmarkTwoColor(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		g := graph.Cycle(256)
 		if res := twocolor.Run(g, 0, 8192, 1); !res.Bipartite {
@@ -76,6 +80,7 @@ func BenchmarkTwoColor(b *testing.B) {
 // BenchmarkSynchronizer (table E5): 32 fair asynchronous time units of
 // the wrapped max automaton on an 8x8 grid.
 func BenchmarkSynchronizer(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < b.N; i++ {
 		g := graph.Grid(8, 8)
@@ -104,6 +109,7 @@ func (maxAuto) Step(self int, view *fssga.View[int], rnd *rand.Rand) int {
 
 // BenchmarkBFS (table E6): full out-and-back search on a 60-node path.
 func BenchmarkBFS(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		g := graph.Path(60)
 		res, err := bfs.Run(g, 0, []int{59}, 4096, 1)
@@ -116,6 +122,7 @@ func BenchmarkBFS(b *testing.B) {
 // BenchmarkRandomWalkMove (table E7): one tournament hand-off at a
 // degree-64 node.
 func BenchmarkRandomWalkMove(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		g := graph.Star(65)
 		tr, err := randomwalk.New(g, 0, int64(i))
@@ -130,6 +137,7 @@ func BenchmarkRandomWalkMove(b *testing.B) {
 
 // BenchmarkMilgram (table E8): full arm/hand traversal of a 6x6 grid.
 func BenchmarkMilgram(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		g := graph.Grid(6, 6)
 		tr, err := traversal.NewMilgram(g, 0, int64(i))
@@ -145,6 +153,7 @@ func BenchmarkMilgram(b *testing.B) {
 // BenchmarkGreedyTourist (table E9): full greedy-tourist traversal of an
 // 8x8 grid.
 func BenchmarkGreedyTourist(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		g := graph.Grid(8, 8)
 		tr, err := traversal.NewTourist(g, 0, int64(i))
@@ -159,6 +168,7 @@ func BenchmarkGreedyTourist(b *testing.B) {
 
 // BenchmarkElection (table E10): full leader election on a 16-cycle.
 func BenchmarkElection(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		g := graph.Cycle(16)
 		tr := election.New(g, int64(i))
@@ -171,6 +181,7 @@ func BenchmarkElection(b *testing.B) {
 // BenchmarkConversions (table E11): the full Theorem 3.7 conversion cycle
 // on a random counter program.
 func BenchmarkConversions(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	s0 := sm.RandomCounterSequential(2, 3, 3, 2, rng)
 	b.ResetTimer()
@@ -192,6 +203,7 @@ func BenchmarkConversions(b *testing.B) {
 // BenchmarkIWA (table E12): one Θ(m) IWA-agent simulation of an FSSGA
 // round.
 func BenchmarkIWA(b *testing.B) {
+	b.ReportAllocs()
 	numQ := 4
 	orFn := sm.BitwiseOR(2)
 	fs := make([]sm.Func, numQ)
@@ -225,6 +237,7 @@ func (o orSelf) Eval(qs []int) int { return o.or.Eval(qs) | o.self }
 
 // BenchmarkSensitivity (table E13): one fault-injected census probe run.
 func BenchmarkSensitivity(b *testing.B) {
+	b.ReportAllocs()
 	probe := sensitivity.CensusProbe(14, 8, 2)
 	row := sensitivity.Measure(probe, 1, 24, 0.08, 1)
 	if row.Trials != 1 {
@@ -245,6 +258,7 @@ func BenchmarkSyncRoundWorkers(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		workers := workers
 		b.Run(itoa(workers), func(b *testing.B) {
+			b.ReportAllocs()
 			net := fssga.New[int](g.Clone(), maxAuto{}, func(v int) int { return v }, 1)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -267,6 +281,7 @@ func BenchmarkViewObservation(b *testing.B) {
 	}
 	view := fssga.NewView(states)
 	b.Run("capped", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if view.Count(3, func(s int) bool { return s == 3 }) != 3 {
 				b.Fatal("wrong count")
@@ -274,6 +289,7 @@ func BenchmarkViewObservation(b *testing.B) {
 		}
 	})
 	b.Run("raw-scan", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			total := 0
 			view.ForEach(func(s, c int) {
@@ -291,6 +307,7 @@ func BenchmarkViewObservation(b *testing.B) {
 // BenchmarkSemiLattice: one synchronous round of the §5 semi-lattice
 // diffusion on a large sparse graph.
 func BenchmarkSemiLattice(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	g := graph.RandomConnectedGNP(2048, 0.004, rng)
 	net := fssga.New[int](g, fssga.SemiLattice[int]{Join: fssga.MaxJoin},
@@ -299,4 +316,77 @@ func BenchmarkSemiLattice(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		net.SyncRound()
 	}
+}
+
+// denseMaxAuto is maxAuto with the DenseAutomaton extension: the same
+// diffusion step, but views back onto a reusable multiplicity vector.
+type denseMaxAuto struct{ k int }
+
+func (d denseMaxAuto) NumStates() int       { return d.k }
+func (d denseMaxAuto) StateIndex(s int) int { return s }
+func (d denseMaxAuto) Step(self int, view *fssga.View[int], rnd *rand.Rand) int {
+	best := self
+	view.ForEach(func(s, _ int) {
+		if s > best {
+			best = s
+		}
+	})
+	return best
+}
+
+// BenchmarkViewDenseVsMap isolates the view-engine cost: identical
+// max-diffusion rounds on the same graph, dense multiplicity vector
+// versus the map-of-counts fallback (DenseAutomaton methods hidden
+// behind StepFunc). The dense path must report 0 allocs/op.
+func BenchmarkViewDenseVsMap(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.RandomConnectedGNP(2048, 0.004, rng)
+	const k = 16
+	init := func(v int) int { return v % k }
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		net := fssga.New[int](g.Clone(), denseMaxAuto{k}, init, 1)
+		net.SyncRound()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net.SyncRound()
+		}
+	})
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		net := fssga.New[int](g.Clone(), fssga.StepFunc[int](denseMaxAuto{k}.Step), init, 1)
+		net.SyncRound()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net.SyncRound()
+		}
+	})
+}
+
+// BenchmarkSyncRoundFrontier: steady-state probe rounds on a quiesced
+// diffusion — the frontier round only scans change flags, versus a full
+// view rebuild per node.
+func BenchmarkSyncRoundFrontier(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.RandomConnectedGNP(2048, 0.004, rng)
+	const k = 16
+	init := func(v int) int { return v % k }
+	b.Run("frontier", func(b *testing.B) {
+		b.ReportAllocs()
+		net := fssga.New[int](g.Clone(), denseMaxAuto{k}, init, 1)
+		net.RunSyncUntilQuiescent(1 << 14)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net.SyncRoundFrontier()
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		net := fssga.New[int](g.Clone(), denseMaxAuto{k}, init, 1)
+		net.RunSyncUntilQuiescent(1 << 14)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net.SyncRound()
+		}
+	})
 }

@@ -8,6 +8,7 @@
 //	fssga-bench -exp=E10        # run one experiment
 //	fssga-bench -quick          # reduced sweeps (seconds, not minutes)
 //	fssga-bench -seed=7         # change the master seed
+//	fssga-bench -perf           # engine perf series (ns/op, allocs/op) → JSON
 package main
 
 import (
@@ -25,7 +26,17 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sweeps and trial counts")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown tables")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	perf := flag.Bool("perf", false, "run the engine perf suite instead of the experiment tables")
+	out := flag.String("out", "BENCH_engine.json", "output path for the -perf JSON report")
 	flag.Parse()
+
+	if *perf {
+		if err := runPerf(*seed, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "fssga-bench: perf suite failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, id := range exp.IDs() {

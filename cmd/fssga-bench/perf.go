@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/algo/bfs"
+	"repro/internal/algo/census"
+	"repro/internal/algo/election"
+	"repro/internal/algo/shortestpath"
+	"repro/internal/fssga"
+	"repro/internal/graph"
+)
+
+// The -perf suite measures the execution engine itself — synchronous-round
+// throughput and allocation behaviour across view representations (dense
+// multiplicity vectors vs the map fallback), worker counts, and the
+// frontier round mode — and appends the series to a BENCH_*.json file so
+// the perf trajectory is recorded alongside the experiment tables.
+
+// perfResult is one measured series point.
+type perfResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// perfReport is the BENCH_*.json schema.
+type perfReport struct {
+	Schema     string       `json:"schema"`
+	Generated  string       `json:"generated"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Seed       int64        `json:"seed"`
+	Results    []perfResult `json:"results"`
+}
+
+// lattice is the perf suite's reference dense automaton: max-diffusion
+// over states 0..K-1, implemented with closure-free observations so the
+// hot path is purely view construction plus O(K) capped lookups.
+type lattice struct{ k int }
+
+func (l lattice) NumStates() int       { return l.k }
+func (l lattice) StateIndex(s int) int { return s }
+func (l lattice) Step(self int, view *fssga.View[int], rnd *rand.Rand) int {
+	for q := l.k - 1; q > self; q-- {
+		if view.AnyState(q) {
+			return q
+		}
+	}
+	return self
+}
+
+func benchRound[S comparable](net *fssga.Network[S]) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		net.SyncRound() // warm up scratch outside the measured region
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net.SyncRound()
+		}
+	}
+}
+
+// runPerf executes the engine perf suite and writes the JSON report.
+func runPerf(seed int64, outPath string) error {
+	var results []perfResult
+	record := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		results = append(results, perfResult{
+			Name:        name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		})
+		fmt.Fprintf(os.Stderr, "%-44s %12.0f ns/op %8d allocs/op %10d B/op\n",
+			name, float64(r.NsPerOp()), r.AllocsPerOp(), r.AllocedBytesPerOp())
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	const k = 16
+
+	// 1. Dense vs map view construction on the same workload: one
+	// synchronous round of max-diffusion on a sparse G(n, p). The map
+	// variant hides the DenseAutomaton methods behind StepFunc.
+	for _, n := range []int{512, 2048} {
+		g := graph.RandomConnectedGNP(n, 8.0/float64(n), rng)
+		init := func(v int) int { return v % k }
+		record(fmt.Sprintf("SyncRound/lattice/dense/n=%d", n),
+			benchRound(fssga.New[int](g.Clone(), lattice{k}, init, seed)))
+		record(fmt.Sprintf("SyncRound/lattice/map/n=%d", n),
+			benchRound(fssga.New[int](g.Clone(), fssga.StepFunc[int](lattice{k}.Step), init, seed)))
+	}
+
+	// 2. Real algorithm rounds. Census engages the dense path only for
+	// small sketch configurations; election and BFS are always dense.
+	gC := graph.RandomConnectedGNP(512, 0.02, rng)
+	if net, err := census.NewNetwork(gC.Clone(), census.Config{Bits: 4, Sketches: 3, Seed: seed}); err == nil {
+		record("SyncRound/census/dense/bits=4x3/n=512", benchRound(net))
+	}
+	if net, err := census.NewNetwork(gC.Clone(), census.Config{Bits: 14, Sketches: 8, Seed: seed}); err == nil {
+		record("SyncRound/census/map/bits=14x8/n=512", benchRound(net))
+	}
+	record("SyncRound/election/dense/cycle/n=64",
+		benchRound(election.New(graph.Cycle(64), seed).Net))
+	if net, err := bfs.NewNetwork(graph.Grid(32, 32), 0, []int{1023}, seed); err == nil {
+		record("SyncRound/bfs/dense/grid/n=1024", benchRound(net))
+	}
+
+	// 3. Parallel-round scaling with per-worker scratch.
+	gP := graph.RandomConnectedGNP(4096, 0.002, rng)
+	for _, workers := range []int{1, 2, 4, 8} {
+		net := fssga.New[int](gP.Clone(), lattice{k}, func(v int) int { return v % k }, seed)
+		w := workers
+		record(fmt.Sprintf("SyncRoundParallel/lattice/dense/n=4096/w=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			net.SyncRoundParallel(w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.SyncRoundParallel(w)
+			}
+		})
+	}
+
+	// 4. Frontier mode on a quiesced diffusion: re-probing a converged
+	// shortest-path grid is O(n) flag scans for the frontier round versus
+	// a full view rebuild for SyncRound.
+	mkQuiesced := func() *fssga.Network[shortestpath.State] {
+		net, err := shortestpath.NewNetwork(graph.Grid(48, 48), []int{0}, 2304, seed)
+		if err != nil {
+			panic(err)
+		}
+		net.RunSyncUntilQuiescent(1 << 14)
+		return net
+	}
+	qf := mkQuiesced()
+	record("QuiescedRound/shortestpath/frontier/n=2304", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			qf.SyncRoundFrontier()
+		}
+	})
+	qs := mkQuiesced()
+	record("QuiescedRound/shortestpath/full/n=2304", benchRound(qs))
+
+	report := perfReport{
+		Schema:     "fssga-bench/perf/v1",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       seed,
+		Results:    results,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fssga-bench: wrote %d series to %s\n", len(results), outPath)
+	return nil
+}

@@ -1,0 +1,65 @@
+package bfs
+
+import (
+	"testing"
+
+	"repro/internal/fssga"
+	"repro/internal/graph"
+)
+
+// TestStateIndexInjective enumerates the 48-state space and checks
+// StateIndex is a bijection onto [0, NumStates).
+func TestStateIndexInjective(t *testing.T) {
+	a := automaton{}
+	n := a.NumStates()
+	seen := make([]bool, n)
+	count := 0
+	for _, orig := range []bool{false, true} {
+		for _, target := range []bool{false, true} {
+			for label := int8(-1); label <= 2; label++ {
+				for status := Waiting; status <= Failed; status++ {
+					s := State{Originator: orig, Target: target, Label: label, Status: status}
+					i := a.StateIndex(s)
+					if i < 0 || i >= n {
+						t.Fatalf("StateIndex(%+v) = %d out of [0, %d)", s, i, n)
+					}
+					if seen[i] {
+						t.Fatalf("StateIndex collision at %d for %+v", i, s)
+					}
+					seen[i] = true
+					count++
+				}
+			}
+		}
+	}
+	if count != n {
+		t.Fatalf("enumerated %d states, want %d", count, n)
+	}
+}
+
+// TestBFSRunsDense checks the BFS network engages the dense view path and
+// matches a map-fallback replica exactly.
+func TestBFSRunsDense(t *testing.T) {
+	g := graph.Grid(6, 6)
+	net, err := NewNetwork(g, 0, []int{35}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !net.DenseViews() {
+		t.Fatal("bfs should run on the dense view path")
+	}
+	mapped := fssga.New[State](graph.Grid(6, 6),
+		fssga.StepFunc[State](automaton{}.Step),
+		func(v int) State {
+			return State{Originator: v == 0, Target: v == 35, Label: NoLabel, Status: Waiting}
+		}, 1)
+	for r := 0; r < 40; r++ {
+		net.SyncRound()
+		mapped.SyncRound()
+		for v := 0; v < 36; v++ {
+			if net.State(v) != mapped.State(v) {
+				t.Fatalf("round %d: state[%d] differs between dense and map paths", r+1, v)
+			}
+		}
+	}
+}

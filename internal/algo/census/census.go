@@ -77,8 +77,35 @@ func InitialState(cfg Config, rng *rand.Rand) State {
 }
 
 // automaton ORs the node's state with all neighbour states — the
-// iterated-OR semi-lattice update.
-type automaton struct{}
+// iterated-OR semi-lattice update. It implements fssga.DenseAutomaton by
+// concatenating the active sketch words into one integer index, so small
+// sketch configurations (Bits·Sketches ≤ 20) run on the engine's
+// zero-allocation dense view path; larger ones (including the paper's
+// 14-bit × 8 default) report an oversized NumStates and fall back to map
+// views automatically.
+type automaton struct {
+	bits     int // sketch width (Config.Bits)
+	sketches int // active sketch count (Config.Sketches)
+}
+
+// NumStates implements fssga.DenseAutomaton.
+func (a automaton) NumStates() int {
+	total := a.bits * a.sketches
+	if total < 1 || total >= 31 {
+		return math.MaxInt // unconfigured or oversized: engine uses the map fallback
+	}
+	return 1 << total
+}
+
+// StateIndex implements fssga.DenseAutomaton. Only called when the dense
+// path is active, i.e. when the concatenation fits an int.
+func (a automaton) StateIndex(s State) int {
+	idx := 0
+	for j := 0; j < a.sketches; j++ {
+		idx |= int(s[j]) << (j * a.bits)
+	}
+	return idx
+}
 
 // Step implements fssga.Automaton.
 func (automaton) Step(self State, view *fssga.View[State], rnd *rand.Rand) State {
@@ -97,7 +124,7 @@ func NewNetwork(g *graph.Graph, cfg Config) (*fssga.Network[State], error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return fssga.New[State](g, automaton{}, func(v int) State {
+	return fssga.New[State](g, automaton{bits: cfg.Bits, sketches: cfg.Sketches}, func(v int) State {
 		rng := rand.New(rand.NewSource(cfg.Seed ^ (int64(v)+1)*0x5DEECE66D))
 		return InitialState(cfg, rng)
 	}, cfg.Seed), nil

@@ -1,0 +1,37 @@
+package shortestpath
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestDenseWiring: labels 0..cap with the InT bit pack injectively into
+// 2·(cap+1) indices, and label diffusion runs on the dense view path.
+func TestDenseWiring(t *testing.T) {
+	a := automaton{cap: 5}
+	if a.NumStates() != 12 {
+		t.Fatalf("NumStates = %d, want 12", a.NumStates())
+	}
+	seen := map[int]State{}
+	for _, inT := range []bool{false, true} {
+		for label := 0; label <= 5; label++ {
+			s := State{InT: inT, Label: label}
+			i := a.StateIndex(s)
+			if i < 0 || i >= 12 {
+				t.Fatalf("StateIndex(%+v) = %d out of range", s, i)
+			}
+			if prev, dup := seen[i]; dup {
+				t.Fatalf("collision: %+v and %+v both map to %d", prev, s, i)
+			}
+			seen[i] = s
+		}
+	}
+	net, err := NewNetwork(graph.Grid(4, 4), []int{0}, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !net.DenseViews() {
+		t.Fatal("shortestpath should run on the dense view path")
+	}
+}

@@ -1,0 +1,25 @@
+package twocolor
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestDenseWiring: the four-state automaton indexes itself and the
+// colouring network runs on the engine's dense view path.
+func TestDenseWiring(t *testing.T) {
+	a := automaton{}
+	if a.NumStates() != 4 {
+		t.Fatalf("NumStates = %d, want 4", a.NumStates())
+	}
+	for s := Blank; s <= Failed; s++ {
+		if a.StateIndex(s) != int(s) {
+			t.Fatalf("StateIndex(%v) = %d", s, a.StateIndex(s))
+		}
+	}
+	net := NewNetwork(graph.Cycle(8), 0, 1)
+	if !net.DenseViews() {
+		t.Fatal("twocolor should run on the dense view path")
+	}
+}

@@ -1,0 +1,129 @@
+package fssga
+
+import "fmt"
+
+// DenseAutomaton is an optional extension of Automaton for automata whose
+// state space admits a small dense enumeration. When the automaton handed
+// to New implements it (and NumStates is within MaxDenseStates), the
+// engine builds every View on a reusable []int32 multiplicity vector
+// indexed by StateIndex instead of a freshly allocated map[S]int — the
+// zero-allocation fast path. Automata that do not implement it run
+// unchanged on the map fallback.
+//
+// Contract: StateIndex must be a pure function, safe for concurrent use,
+// and must return a value in [0, NumStates()) for every state that can
+// occur in the network (initial states and everything Step can produce);
+// the engine panics on an out-of-range index for an observed neighbour
+// state. Distinct states must map to distinct indices, otherwise their
+// multiplicities merge and observations are silently wrong. NumStates
+// must be constant over the automaton's lifetime. Results are
+// bit-identical to the map path: a View's observations are functions of
+// the multiplicity vector only, and the representation does not change
+// which multiplicities the program sees.
+type DenseAutomaton[S comparable] interface {
+	Automaton[S]
+
+	// NumStates returns the size of the dense state enumeration. An
+	// automaton whose state space is unbounded or too large to enumerate
+	// may return a huge value (e.g. math.MaxInt) to opt out: the engine
+	// falls back to map views whenever NumStates exceeds MaxDenseStates.
+	NumStates() int
+
+	// StateIndex maps a state to its dense index in [0, NumStates()).
+	StateIndex(s S) int
+}
+
+// MaxDenseStates caps the dense-path state-space size: above it the
+// per-worker multiplicity vector (4 bytes per state per worker) would
+// cost more than the map churn it saves, so the engine silently uses the
+// map fallback instead.
+const MaxDenseStates = 1 << 20
+
+// viewScratch is a per-worker reusable workspace for building Views
+// without allocating: a neighbour buffer, a recycled View, and either a
+// dense multiplicity vector (dense mode) or a cleared-and-reused map (map
+// fallback). Each worker goroutine of SyncRoundParallel owns one; all
+// serial paths share one.
+type viewScratch[S comparable] struct {
+	nbr  []int
+	view View[S]
+
+	counts map[S]int // map fallback: cleared and reused across nodes
+
+	// Dense mode: dense is the full multiplicity vector (len NumStates,
+	// zero outside presIdx); present/presIdx track the distinct states of
+	// the current view so resetting is O(distinct states), not O(states).
+	dense   []int32
+	present []S
+	presIdx []int32
+}
+
+// newScratch allocates a workspace matching the network's view mode.
+func (net *Network[S]) newScratch() *viewScratch[S] {
+	sc := &viewScratch[S]{}
+	if net.denseAuto != nil {
+		sc.dense = make([]int32, net.numStates)
+	} else {
+		sc.counts = make(map[S]int)
+	}
+	return sc
+}
+
+// buildView assembles node v's symmetric neighbour view from snapshot
+// into sc. The returned View aliases the scratch buffers: it is valid
+// only until the next buildView on the same scratch, which is exactly the
+// duration of one Step call.
+func (net *Network[S]) buildView(sc *viewScratch[S], v int, snapshot []S) *View[S] {
+	sc.nbr = net.G.Neighbors(v, sc.nbr[:0])
+	if sc.dense != nil {
+		for _, i := range sc.presIdx {
+			sc.dense[i] = 0
+		}
+		sc.present = sc.present[:0]
+		sc.presIdx = sc.presIdx[:0]
+		for _, u := range sc.nbr {
+			s := snapshot[u]
+			i := net.idx(s)
+			if i < 0 || i >= len(sc.dense) {
+				panic(fmt.Sprintf("fssga: StateIndex returned %d for an observed state, want 0..%d",
+					i, len(sc.dense)-1))
+			}
+			if sc.dense[i] == 0 {
+				sc.present = append(sc.present, s)
+				sc.presIdx = append(sc.presIdx, int32(i))
+			}
+			sc.dense[i]++
+		}
+		sc.view = View[S]{
+			total:   len(sc.nbr),
+			dense:   sc.dense,
+			present: sc.present,
+			presIdx: sc.presIdx,
+			idx:     net.idx,
+		}
+		return &sc.view
+	}
+	clear(sc.counts)
+	for _, u := range sc.nbr {
+		sc.counts[snapshot[u]]++
+	}
+	sc.view = View[S]{counts: sc.counts, total: len(sc.nbr)}
+	return &sc.view
+}
+
+// serialScratch returns the shared workspace of the serial execution
+// paths (SyncRound, Activate, Quiescent, frontier rounds), creating it on
+// first use.
+func (net *Network[S]) serialScratch() *viewScratch[S] {
+	if net.serial == nil {
+		net.serial = net.newScratch()
+	}
+	return net.serial
+}
+
+// ensureWorkers grows the per-worker scratch pool to at least n entries.
+func (net *Network[S]) ensureWorkers(n int) {
+	for len(net.workers) < n {
+		net.workers = append(net.workers, net.newScratch())
+	}
+}

@@ -1,0 +1,90 @@
+package fssga
+
+// Frontier-driven rounds. For a *deterministic* automaton, a node's next
+// state is a pure function of its own state and its neighbour multiset, so
+// it can differ from the last round only if its own state or a
+// neighbour's state changed in that round. The frontier round exploits
+// this: it re-steps only nodes marked dirty by the previous round's
+// changes, making quiesced regions free in diffusion workloads (census,
+// BFS, two-colouring, shortest paths) while producing the exact state
+// trajectory of full rounds.
+//
+// The frontier bookkeeping is invalidated — forcing one full re-step of
+// every node — whenever states change outside a frontier round (SetState,
+// Activate, full SyncRound/SyncRoundParallel) or the topology shrinks
+// (detected via the live node and edge counts, which any fault changes in
+// the decreasing fault model).
+
+// SyncRoundFrontier performs one frontier-driven synchronous round. It
+// reports whether any state changed; a false return means the network was
+// already quiescent, and in that case nothing is committed: Rounds is not
+// incremented and OnRound does not fire, so a run driven by
+// SyncRoundFrontier counts exactly the rounds a SyncRound loop guarded by
+// Quiescent would have executed.
+//
+// Deterministic automata only: a Step that consults its random stream
+// desynchronizes the per-node streams when quiesced nodes are skipped.
+func (net *Network[S]) SyncRoundFrontier() (changed bool) {
+	n := net.G.Cap()
+	if net.front == nil {
+		net.front = make([]bool, n)
+		net.frontNext = make([]bool, n)
+	}
+	if !net.frontierOK || net.frontNodes != net.G.NumNodes() || net.frontEdges != net.G.NumEdges() {
+		for v := range net.front {
+			net.front[v] = true
+		}
+		net.frontierOK = true
+	}
+	net.frontNodes, net.frontEdges = net.G.NumNodes(), net.G.NumEdges()
+
+	sc := net.serialScratch()
+	copy(net.next, net.states)
+	for v := range net.frontNext {
+		net.frontNext[v] = false
+	}
+	for v := 0; v < n; v++ {
+		if !net.front[v] || !net.G.Alive(v) || net.G.Degree(v) == 0 {
+			continue
+		}
+		view := net.buildView(sc, v, net.states)
+		s := net.auto.Step(net.states[v], view, net.rngs[v])
+		if s != net.states[v] {
+			net.next[v] = s
+			changed = true
+			// The change is visible to v itself and its neighbours next
+			// round; sc.nbr still holds v's neighbour list from buildView.
+			net.frontNext[v] = true
+			for _, u := range sc.nbr {
+				net.frontNext[u] = true
+			}
+		}
+	}
+	net.front, net.frontNext = net.frontNext, net.front
+	if !changed {
+		// Quiescent: the empty frontier stays valid, so repeated calls
+		// cost O(n) flag scans and build no views at all.
+		return false
+	}
+	net.states, net.next = net.next, net.states
+	net.Rounds++
+	if net.OnRound != nil {
+		net.OnRound(net.Rounds)
+	}
+	return true
+}
+
+// RunSyncUntilQuiescent runs synchronous rounds until a round changes no
+// state, up to maxRounds. For deterministic automata only. Rounds are
+// frontier-driven: after the first round only nodes whose neighbourhood
+// changed are re-stepped, which is what makes diffusion algorithms'
+// convergence tails cheap; the resulting states, round counts and OnRound
+// invocations are identical to a full-round loop guarded by Quiescent.
+func (net *Network[S]) RunSyncUntilQuiescent(maxRounds int) (rounds int, finished bool) {
+	for r := 0; r < maxRounds; r++ {
+		if !net.SyncRoundFrontier() {
+			return r, true
+		}
+	}
+	return maxRounds, net.Quiescent()
+}

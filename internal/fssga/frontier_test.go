@@ -1,0 +1,167 @@
+package fssga
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// minPlusAutomaton is a shortest-path-style diffusion: a non-pinned node's
+// label becomes 1 + min over neighbours, capped. Unlike maxAutomaton its
+// labels can *rise* after a fault, exercising frontier invalidation.
+type minPlusAutomaton struct{ cap int }
+
+func (a minPlusAutomaton) Step(self int, view *View[int], rnd *rand.Rand) int {
+	if self == 0 {
+		return 0 // pinned source
+	}
+	best := a.cap
+	view.ForEach(func(s, _ int) {
+		if s < best {
+			best = s
+		}
+	})
+	if best+1 > a.cap {
+		return a.cap
+	}
+	return best + 1
+}
+
+// runGuardedFull is the pre-frontier reference loop: full rounds guarded
+// by an explicit quiescence probe.
+func runGuardedFull[S comparable](net *Network[S], maxRounds int) (int, bool) {
+	for r := 0; r < maxRounds; r++ {
+		if net.Quiescent() {
+			return r, true
+		}
+		net.SyncRound()
+	}
+	return maxRounds, net.Quiescent()
+}
+
+// TestFrontierMatchesFullRounds: frontier-driven quiescence runs must
+// reproduce the full-round reference exactly — states, round counts and
+// OnRound invocations — on random graphs.
+func TestFrontierMatchesFullRounds(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnectedGNP(40, 0.08, rng)
+		init := func(v int) int { return v }
+		ref := New[int](g.Clone(), maxAutomaton{}, init, seed)
+		fr := New[int](g.Clone(), maxAutomaton{}, init, seed)
+		var refRounds, frRounds []int
+		ref.OnRound = func(r int) { refRounds = append(refRounds, r) }
+		fr.OnRound = func(r int) { frRounds = append(frRounds, r) }
+		r1, f1 := runGuardedFull(ref, 200)
+		r2, f2 := fr.RunSyncUntilQuiescent(200)
+		if r1 != r2 || f1 != f2 || len(refRounds) != len(frRounds) {
+			return false
+		}
+		for v := 0; v < 40; v++ {
+			if ref.State(v) != fr.State(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFrontierMatchesFullRoundsWithFaults injects identical mid-run faults
+// into the reference and the frontier run; the frontier must notice the
+// topology change and re-converge to the same states.
+func TestFrontierMatchesFullRoundsWithFaults(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnectedGNP(36, 0.1, rng)
+		init := func(v int) int {
+			if v == 0 {
+				return 0
+			}
+			return 36 // cap
+		}
+		auto := minPlusAutomaton{cap: 36}
+		ref := New[int](g.Clone(), auto, init, seed)
+		fr := New[int](g.Clone(), auto, init, seed)
+
+		// Converge, fault identically (edges around a random victim), and
+		// converge again. Labels can rise after the cut.
+		runGuardedFull(ref, 400)
+		fr.RunSyncUntilQuiescent(400)
+		victim := 1 + rng.Intn(35)
+		for _, u := range ref.G.NeighborsSorted(victim) {
+			ref.G.RemoveEdge(victim, u)
+			fr.G.RemoveEdge(victim, u)
+		}
+		r1, f1 := runGuardedFull(ref, 400)
+		r2, f2 := fr.RunSyncUntilQuiescent(400)
+		if r1 != r2 || f1 != f2 {
+			return false
+		}
+		for v := 0; v < 36; v++ {
+			if ref.State(v) != fr.State(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrontierQuiescentRoundNotCommitted(t *testing.T) {
+	g := graph.Path(6)
+	net := newMaxNet(g, 1)
+	rounds, finished := net.RunSyncUntilQuiescent(100)
+	if !finished {
+		t.Fatal("no quiescence")
+	}
+	fired := 0
+	net.OnRound = func(int) { fired++ }
+	for i := 0; i < 3; i++ {
+		if net.SyncRoundFrontier() {
+			t.Fatal("quiescent network reported a change")
+		}
+	}
+	if net.Rounds != rounds || fired != 0 {
+		t.Fatalf("quiescent frontier rounds committed: Rounds=%d (want %d), OnRound fired %d times",
+			net.Rounds, rounds, fired)
+	}
+}
+
+func TestFrontierInvalidatedBySetState(t *testing.T) {
+	g := graph.Path(8)
+	net := newMaxNet(g, 1)
+	net.RunSyncUntilQuiescent(100)
+	net.SetState(0, 99)
+	if rounds, finished := net.RunSyncUntilQuiescent(100); !finished || rounds == 0 {
+		t.Fatalf("SetState change not propagated: rounds=%d finished=%v", rounds, finished)
+	}
+	for v := 0; v < 8; v++ {
+		if net.State(v) != 99 {
+			t.Fatalf("state[%d] = %d, want 99", v, net.State(v))
+		}
+	}
+}
+
+func TestFrontierInvalidatedByFullRound(t *testing.T) {
+	// Interleaving full rounds (which do no frontier bookkeeping) with
+	// frontier rounds must not lose updates.
+	g := graph.Path(8)
+	a := newMaxNet(g.Clone(), 1)
+	b := newMaxNet(g.Clone(), 1)
+	a.SyncRoundFrontier()
+	a.SyncRound()
+	a.RunSyncUntilQuiescent(100)
+	b.RunSyncUntilQuiescent(100)
+	for v := 0; v < 8; v++ {
+		if a.State(v) != b.State(v) {
+			t.Fatalf("state[%d]: mixed=%d pure=%d", v, a.State(v), b.State(v))
+		}
+	}
+}

@@ -21,6 +21,22 @@ type Network[S comparable] struct {
 	next   []S // scratch buffer for synchronous rounds
 	rngs   []*rand.Rand
 
+	// Dense fast path (see dense.go): set when auto implements
+	// DenseAutomaton with a state space within MaxDenseStates.
+	denseAuto DenseAutomaton[S]
+	numStates int
+	idx       func(S) int
+
+	serial  *viewScratch[S]   // shared by all serial execution paths
+	workers []*viewScratch[S] // one per goroutine of SyncRoundParallel
+
+	// Frontier round mode (see frontier.go).
+	front      []bool
+	frontNext  []bool
+	frontierOK bool
+	frontNodes int
+	frontEdges int
+
 	// Rounds counts completed synchronous rounds; Activations counts
 	// single-node asynchronous activations.
 	Rounds      int
@@ -29,14 +45,17 @@ type Network[S comparable] struct {
 	// OnRound, if non-nil, is invoked after every completed synchronous
 	// round with the round number (1-based).
 	OnRound func(round int)
-
-	nbrBuf []int // reusable neighbour buffer (serial paths only)
 }
 
 // New creates a network over g running auto, with node v initialized to
 // init(v). Every node gets an independent deterministic random stream
 // derived from seed, so runs are reproducible and independent of execution
 // order and worker count.
+//
+// If auto implements DenseAutomaton and its NumStates fits MaxDenseStates,
+// all views are built on dense multiplicity vectors (the zero-allocation
+// fast path); otherwise the map fallback is used. Both representations
+// expose identical observations, so the choice never changes results.
 func New[S comparable](g *graph.Graph, auto Automaton[S], init func(v int) S, seed int64) *Network[S] {
 	n := g.Cap()
 	net := &Network[S]{
@@ -45,6 +64,13 @@ func New[S comparable](g *graph.Graph, auto Automaton[S], init func(v int) S, se
 		states: make([]S, n),
 		next:   make([]S, n),
 		rngs:   make([]*rand.Rand, n),
+	}
+	if d, ok := auto.(DenseAutomaton[S]); ok {
+		if ns := d.NumStates(); ns > 0 && ns <= MaxDenseStates {
+			net.denseAuto = d
+			net.numStates = ns
+			net.idx = d.StateIndex
+		}
 	}
 	for v := 0; v < n; v++ {
 		net.rngs[v] = rand.New(rand.NewSource(mix(seed, int64(v))))
@@ -65,35 +91,22 @@ func mix(seed, v int64) int64 {
 	return int64(z)
 }
 
+// DenseViews reports whether the network runs on the dense view fast path.
+func (net *Network[S]) DenseViews() bool { return net.denseAuto != nil }
+
 // State returns the current state of node v (meaningless for dead nodes).
 func (net *Network[S]) State(v int) S { return net.states[v] }
 
 // SetState overrides the state of node v; used to set up distinguished
 // initial conditions (e.g. "one node is RED").
-func (net *Network[S]) SetState(v int, s S) { net.states[v] = s }
+func (net *Network[S]) SetState(v int, s S) {
+	net.states[v] = s
+	net.frontierOK = false // out-of-band change: frontier bookkeeping is stale
+}
 
 // States returns the internal state slice (indexed by node ID). Callers
 // must treat it as read-only.
 func (net *Network[S]) States() []S { return net.states }
-
-// view builds the symmetric neighbour view of v from the given snapshot.
-func (net *Network[S]) view(v int, snapshot []S) *View[S] {
-	counts := make(map[S]int, net.G.Degree(v))
-	net.nbrBuf = net.G.Neighbors(v, net.nbrBuf[:0])
-	for _, u := range net.nbrBuf {
-		counts[snapshot[u]]++
-	}
-	return NewViewFromCounts(counts)
-}
-
-// viewAlloc is like view but allocation-only (safe for concurrent use).
-func (net *Network[S]) viewAlloc(v int, snapshot []S) *View[S] {
-	counts := make(map[S]int, net.G.Degree(v))
-	for _, u := range net.G.Neighbors(v, nil) {
-		counts[snapshot[u]]++
-	}
-	return NewViewFromCounts(counts)
-}
 
 // Activate performs one asynchronous activation of node v (no-op for dead
 // or isolated nodes, since SM functions are defined on Q^+ only).
@@ -101,25 +114,35 @@ func (net *Network[S]) Activate(v int) {
 	if !net.G.Alive(v) || net.G.Degree(v) == 0 {
 		return
 	}
-	view := net.view(v, net.states)
+	view := net.buildView(net.serialScratch(), v, net.states)
 	net.states[v] = net.auto.Step(net.states[v], view, net.rngs[v])
 	net.Activations++
+	net.frontierOK = false
 }
 
 // SyncRound performs one synchronous round: every live node computes its
 // successor state from the same snapshot σ, then all states switch
 // simultaneously (Section 3.4's synchronous model).
 func (net *Network[S]) SyncRound() {
+	sc := net.serialScratch()
 	for v := 0; v < net.G.Cap(); v++ {
 		if !net.G.Alive(v) || net.G.Degree(v) == 0 {
 			net.next[v] = net.states[v]
 			continue
 		}
-		view := net.view(v, net.states)
+		view := net.buildView(sc, v, net.states)
 		net.next[v] = net.auto.Step(net.states[v], view, net.rngs[v])
 	}
+	net.commitRound()
+}
+
+// commitRound publishes next as the new state vector and fires the round
+// hooks. Full rounds do not maintain frontier bookkeeping, so any frontier
+// state becomes stale.
+func (net *Network[S]) commitRound() {
 	net.states, net.next = net.next, net.states
 	net.Rounds++
+	net.frontierOK = false
 	if net.OnRound != nil {
 		net.OnRound(net.Rounds)
 	}
@@ -129,7 +152,8 @@ func (net *Network[S]) SyncRound() {
 // of worker goroutines. Because every node has a private random stream and
 // reads only the immutable snapshot, the result is bit-identical to
 // SyncRound regardless of worker count — goroutines map one-to-one onto
-// node activations.
+// node activations. Each worker carries its own view scratch, so the
+// round allocates nothing on the view-construction path.
 func (net *Network[S]) SyncRoundParallel(workers int) {
 	if workers < 1 {
 		panic(fmt.Sprintf("fssga: SyncRoundParallel needs workers >= 1, got %d", workers))
@@ -139,6 +163,7 @@ func (net *Network[S]) SyncRoundParallel(workers int) {
 		net.SyncRound()
 		return
 	}
+	net.ensureWorkers(workers)
 	snapshot := net.states
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
@@ -152,24 +177,20 @@ func (net *Network[S]) SyncRoundParallel(workers int) {
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(sc *viewScratch[S], lo, hi int) {
 			defer wg.Done()
 			for v := lo; v < hi; v++ {
 				if !net.G.Alive(v) || net.G.Degree(v) == 0 {
 					net.next[v] = snapshot[v]
 					continue
 				}
-				view := net.viewAlloc(v, snapshot)
+				view := net.buildView(sc, v, snapshot)
 				net.next[v] = net.auto.Step(snapshot[v], view, net.rngs[v])
 			}
-		}(lo, hi)
+		}(net.workers[w], lo, hi)
 	}
 	wg.Wait()
-	net.states, net.next = net.next, net.states
-	net.Rounds++
-	if net.OnRound != nil {
-		net.OnRound(net.Rounds)
-	}
+	net.commitRound()
 }
 
 // RunSync runs synchronous rounds until done returns true (checked after
@@ -198,33 +219,22 @@ func (net *Network[S]) RunSyncParallel(maxRounds, workers int, done func(net *Ne
 
 // Quiescent reports whether one more synchronous round would leave every
 // state unchanged. It is meaningful only for deterministic automata; it
-// evaluates successor states against cloned random streams so the real
-// streams are not consumed.
+// evaluates successor states against one throwaway random stream (which a
+// deterministic automaton must not consult) so the real per-node streams
+// are not consumed.
 func (net *Network[S]) Quiescent() bool {
+	sc := net.serialScratch()
+	probe := rand.New(rand.NewSource(1))
 	for v := 0; v < net.G.Cap(); v++ {
 		if !net.G.Alive(v) || net.G.Degree(v) == 0 {
 			continue
 		}
-		view := net.view(v, net.states)
-		// A fresh rand with a fixed seed: deterministic automata must not
-		// consult it, and Quiescent is documented as deterministic-only.
-		if net.auto.Step(net.states[v], view, rand.New(rand.NewSource(1))) != net.states[v] {
+		view := net.buildView(sc, v, net.states)
+		if net.auto.Step(net.states[v], view, probe) != net.states[v] {
 			return false
 		}
 	}
 	return true
-}
-
-// RunSyncUntilQuiescent runs synchronous rounds until a round changes no
-// state, up to maxRounds. For deterministic automata only.
-func (net *Network[S]) RunSyncUntilQuiescent(maxRounds int) (rounds int, finished bool) {
-	for r := 0; r < maxRounds; r++ {
-		if net.Quiescent() {
-			return r, true
-		}
-		net.SyncRound()
-	}
-	return maxRounds, net.Quiescent()
 }
 
 // CountStates returns the multiset of live-node states.

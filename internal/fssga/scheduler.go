@@ -1,6 +1,9 @@
 package fssga
 
-import "math/rand"
+import (
+	"math/rand"
+	"sort"
+)
 
 // Scheduler chooses which node activates next in an asynchronous
 // execution. Pick receives the live node IDs (sorted) and the scheduler's
@@ -40,16 +43,34 @@ type FairShuffle struct {
 	pos  int
 }
 
-// Pick implements Scheduler.
+// Pick implements Scheduler. A unit survives mid-unit faults: nodes that
+// died since the unit's permutation was drawn are skipped, not reshuffled
+// away, so every survivor that had not yet activated this unit still
+// activates before any node activates twice. (Reshuffling on a death —
+// the previous behaviour — silently restarted the unit and could starve
+// the not-yet-activated tail of the permutation.)
 func (s *FairShuffle) Pick(alive []int, rng *rand.Rand) int {
-	if s.pos >= len(s.perm) || len(s.perm) != len(alive) {
+	if len(alive) == 0 {
+		panic("fssga: FairShuffle.Pick with no live nodes")
+	}
+	for {
+		for s.pos < len(s.perm) {
+			v := s.perm[s.pos]
+			s.pos++
+			if sortedContains(alive, v) {
+				return v
+			}
+		}
 		s.perm = append(s.perm[:0], alive...)
 		rng.Shuffle(len(s.perm), func(i, j int) { s.perm[i], s.perm[j] = s.perm[j], s.perm[i] })
 		s.pos = 0
 	}
-	v := s.perm[s.pos]
-	s.pos++
-	return v
+}
+
+// sortedContains reports whether x occurs in the sorted slice a.
+func sortedContains(a []int, x int) bool {
+	i := sort.SearchInts(a, x)
+	return i < len(a) && a[i] == x
 }
 
 // Adversarial wraps an arbitrary pick function, for worst-case schedules

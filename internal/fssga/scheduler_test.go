@@ -1,0 +1,69 @@
+package fssga
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFairShuffleMidUnitDeathKeepsFairness: when a node dies mid-unit, the
+// survivors that had not yet activated this unit must still all activate
+// before any node activates a second time. (The old implementation
+// reshuffled on any live-set size change, silently restarting the unit.)
+func TestFairShuffleMidUnitDeathKeepsFairness(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		sched := &FairShuffle{}
+		rng := rand.New(rand.NewSource(seed))
+		alive := []int{0, 1, 2, 3, 4, 5}
+		seen := map[int]bool{}
+		seen[sched.Pick(alive, rng)] = true
+		seen[sched.Pick(alive, rng)] = true
+
+		// Kill one node that has not activated yet this unit.
+		victim := -1
+		var survivors []int
+		for _, v := range alive {
+			if victim < 0 && !seen[v] {
+				victim = v
+				continue
+			}
+			survivors = append(survivors, v)
+		}
+
+		// The three survivors that have not yet activated must come next,
+		// with no repeats and no dead picks.
+		for i := 0; i < 3; i++ {
+			v := sched.Pick(survivors, rng)
+			if v == victim {
+				t.Fatalf("seed %d: dead node %d was activated", seed, victim)
+			}
+			if seen[v] {
+				t.Fatalf("seed %d: node %d activated twice before the unit completed", seed, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+// TestFairShuffleNeverPicksDead drains several units after a death and
+// checks the victim never reappears.
+func TestFairShuffleNeverPicksDead(t *testing.T) {
+	sched := &FairShuffle{}
+	rng := rand.New(rand.NewSource(1))
+	alive := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	sched.Pick(alive, rng) // start a unit
+	survivors := []int{0, 1, 2, 4, 5, 6, 7}
+	for i := 0; i < 50; i++ {
+		if v := sched.Pick(survivors, rng); v == 3 {
+			t.Fatal("picked a dead node")
+		}
+	}
+}
+
+func TestFairShufflePanicsOnEmptyAlive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&FairShuffle{}).Pick(nil, rand.New(rand.NewSource(1)))
+}

@@ -21,9 +21,31 @@ package fssga
 // Methods taking a cap return min(count, cap) — a thresh-style
 // observation; CountMod is the mod-style observation. Programs must use
 // constant caps and moduli to stay finite-state.
+//
+// A View has one of two internal representations:
+//
+//   - map mode: a map[S]int multiplicity map (NewView, NewViewFromCounts,
+//     and the engine's fallback path for automata without dense indexing);
+//   - dense mode: a []int32 multiplicity vector indexed by
+//     DenseAutomaton.StateIndex, with the distinct states present tracked
+//     in a side slice for iteration. Dense views are built only by the
+//     engine, from per-worker scratch buffers, and are allocation-free.
+//
+// Views handed to Automaton.Step by the engine are backed by reusable
+// scratch: they are valid only for the duration of the Step call and must
+// not be retained.
 type View[S comparable] struct {
-	counts map[S]int
+	counts map[S]int // map mode (nil in dense mode)
 	total  int
+
+	// Dense mode. present holds the distinct neighbour states, presIdx
+	// the parallel dense indices (presIdx[k] == idx(present[k])), so
+	// iteration never re-derives indices; dense[presIdx[k]] is the
+	// multiplicity of present[k]. idx is non-nil exactly in dense mode.
+	dense   []int32
+	present []S
+	presIdx []int32
+	idx     func(S) int
 }
 
 // NewView builds a View from a slice of neighbour states. The slice order
@@ -67,12 +89,26 @@ func (v *View[S]) DegreeCapped(cap int) int {
 	return v.total
 }
 
+// count returns the raw multiplicity μ_q of the exact state q.
+func (v *View[S]) count(q S) int {
+	if v.idx != nil {
+		i := v.idx(q)
+		if i < 0 || i >= len(v.dense) {
+			// A state outside the automaton's declared index range cannot
+			// occur as a neighbour state, so its multiplicity is zero.
+			return 0
+		}
+		return int(v.dense[i])
+	}
+	return v.counts[q]
+}
+
 // CountState returns min(μ_q, cap) for the exact state q.
 func (v *View[S]) CountState(q S, cap int) int {
 	if cap < 1 {
 		panic("fssga: CountState needs cap >= 1")
 	}
-	c := v.counts[q]
+	c := v.count(q)
 	if c > cap {
 		return cap
 	}
@@ -87,6 +123,17 @@ func (v *View[S]) Count(cap int, pred func(S) bool) int {
 		panic("fssga: Count needs cap >= 1")
 	}
 	c := 0
+	if v.idx != nil {
+		for k, s := range v.present {
+			if pred(s) {
+				c += int(v.dense[v.presIdx[k]])
+				if c >= cap {
+					return cap
+				}
+			}
+		}
+		return c
+	}
 	for s, n := range v.counts {
 		if pred(s) {
 			c += n
@@ -104,6 +151,14 @@ func (v *View[S]) CountMod(m int, pred func(S) bool) int {
 		panic("fssga: CountMod needs modulus >= 1")
 	}
 	c := 0
+	if v.idx != nil {
+		for k, s := range v.present {
+			if pred(s) {
+				c = (c + int(v.dense[v.presIdx[k]])) % m
+			}
+		}
+		return c
+	}
 	for s, n := range v.counts {
 		if pred(s) {
 			c = (c + n) % m
@@ -116,7 +171,7 @@ func (v *View[S]) CountMod(m int, pred func(S) bool) int {
 func (v *View[S]) Any(pred func(S) bool) bool { return v.Count(1, pred) == 1 }
 
 // AnyState reports whether at least one neighbour is exactly in state q.
-func (v *View[S]) AnyState(q S) bool { return v.counts[q] > 0 }
+func (v *View[S]) AnyState(q S) bool { return v.count(q) > 0 }
 
 // None reports whether no neighbour satisfies pred.
 func (v *View[S]) None(pred func(S) bool) bool { return !v.Any(pred) }
@@ -138,6 +193,12 @@ func (v *View[S]) Exactly(k int, pred func(S) bool) bool {
 // that expand the multiset; algorithm programs should prefer the
 // capped/mod observations.
 func (v *View[S]) ForEach(f func(state S, count int)) {
+	if v.idx != nil {
+		for k, s := range v.present {
+			f(s, int(v.dense[v.presIdx[k]]))
+		}
+		return
+	}
 	for s, n := range v.counts {
 		f(s, n)
 	}
@@ -147,11 +208,11 @@ func (v *View[S]) ForEach(f func(state S, count int)) {
 // neighbour in state s is observed as being in state f(s). Used by the
 // synchronizer transform, where a wrapped automaton must observe either
 // the current or the previous component of each neighbour's composite
-// state.
+// state. The result is always a map-mode View owning its map.
 func Remap[S, T comparable](v *View[S], f func(S) T) *View[T] {
-	out := make(map[T]int, len(v.counts))
-	for s, n := range v.counts {
+	out := make(map[T]int, len(v.counts)+len(v.present))
+	v.ForEach(func(s S, n int) {
 		out[f(s)] += n
-	}
+	})
 	return NewViewFromCounts(out)
 }

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Tier-1 verification for the repo (see ROADMAP.md): build, vet, full
+# tests, then the race detector over the execution engine and the
+# algorithm layer — the packages with goroutine-parallel rounds and the
+# serial/parallel determinism invariant.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$fmt" >&2
+	exit 1
+fi
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ./internal/fssga/... ./internal/algo/..."
+go test -race ./internal/fssga/... ./internal/algo/...
+
+echo "OK"
