@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race bench perf
+.PHONY: check build test race chaos-race chaos-smoke bench perf
 
 # Tier-1 verify path (ROADMAP.md): gofmt + build + vet + tests + race.
 check:
@@ -16,6 +16,17 @@ test:
 # goroutine-parallel rounds and per-worker scratch.
 race:
 	$(GO) test -race ./internal/fssga/... ./internal/algo/...
+
+# Race detector over the adversarial harness and fault layer (the chaos
+# runner drives goroutine-parallel rounds through the pre-round hook).
+chaos-race:
+	$(GO) test -race ./internal/chaos/... ./internal/faults/...
+
+# The CI chaos gate: seeded adversarial campaign with sensitivity-derived
+# expectations; non-zero exit + artifact on any unexpected outcome. Runs
+# in seconds, inside the tier-1 time budget.
+chaos-smoke:
+	$(GO) run ./cmd/fssga-chaos -smoke -out $(shell mktemp -d)
 
 bench:
 	$(GO) test -bench . -benchmem -run xxx .

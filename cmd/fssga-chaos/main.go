@@ -1,0 +1,269 @@
+// Command fssga-chaos runs adversarial fault-injection soak campaigns
+// over the paper's algorithms (internal/chaos) and verifies recorded
+// failure artifacts.
+//
+// Usage:
+//
+//	fssga-chaos                              # full campaign at defaults
+//	fssga-chaos -targets=census,bfs -adversaries=chi,burst -seeds=3
+//	fssga-chaos -smoke                       # CI preset with expectations
+//	fssga-chaos -replay=artifact.json        # verify a recorded artifact
+//
+// A campaign crosses targets × adversaries × graphs × seeds, running each
+// cell with serial and (when -workers > 1) parallel rounds. Expectations
+// encode the paper's sensitivity claims: 0-sensitive targets must survive
+// every adversary, the Θ(n)-sensitive β synchronizer must fall to the
+// χ-targeting adversary, and remaining fragile-target cells are
+// informational. Every recorded break is pushed through the full failure
+// pipeline — bit-identical replay, then shrinking to a 1-minimal
+// schedule. Any cell that violates its expectation writes a replayable
+// trace.RunLog artifact into -out and makes the process exit non-zero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/chaos"
+	"repro/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+type options struct {
+	targets      []string
+	adversaries  []string
+	graphs       []string
+	sizes        []int
+	seeds        int
+	workers      int
+	out          string
+	attackRounds int
+	maxRounds    int
+}
+
+func run(args []string, w io.Writer) int {
+	fs := flag.NewFlagSet("fssga-chaos", flag.ContinueOnError)
+	targets := fs.String("targets", strings.Join(chaos.TargetNames(), ","), "comma-separated chaos targets")
+	adversaries := fs.String("adversaries", strings.Join(chaos.AdversaryNames, ","), "comma-separated adversaries")
+	graphs := fs.String("graphs", "gnp,path,grid", "comma-separated topology generators")
+	sizes := fs.String("sizes", "24", "comma-separated node counts")
+	seeds := fs.Int("seeds", 2, "seeds per cell")
+	workers := fs.Int("workers", 4, "worker count for the parallel pass (1 disables it)")
+	out := fs.String("out", ".", "directory for failure artifacts")
+	smoke := fs.Bool("smoke", false, "run the CI smoke preset (overrides the cell flags)")
+	replayPath := fs.String("replay", "", "verify a recorded artifact instead of running a campaign")
+	attack := fs.Int("attack", 0, "attack horizon in rounds (0 = 2n)")
+	maxR := fs.Int("max-rounds", 0, "round budget (0 = attack + 4n + 30)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *replayPath != "" {
+		return replayMain(w, *replayPath)
+	}
+
+	opt := options{
+		targets:      splitList(*targets),
+		adversaries:  splitList(*adversaries),
+		graphs:       splitList(*graphs),
+		seeds:        *seeds,
+		workers:      *workers,
+		out:          *out,
+		attackRounds: *attack,
+		maxRounds:    *maxR,
+	}
+	for _, s := range splitList(*sizes) {
+		var n int
+		if _, err := fmt.Sscanf(s, "%d", &n); err != nil || n < 2 {
+			fmt.Fprintf(os.Stderr, "fssga-chaos: bad size %q\n", s)
+			return 2
+		}
+		opt.sizes = append(opt.sizes, n)
+	}
+	if *smoke {
+		// The CI preset: one small random graph, every adversary, two
+		// seeds, serial + parallel passes. Election is excluded — it
+		// needs a far larger round budget than the smoke time slot.
+		opt.targets = []string{"census", "shortestpath", "bfs", "beta"}
+		opt.graphs = []string{"gnp"}
+		opt.sizes = []int{24}
+		opt.seeds = 2
+	}
+	return campaign(w, opt)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// expectation is a campaign cell's contract with the sensitivity theory.
+type expectation int
+
+const (
+	// expSurvive: any violation is a regression.
+	expSurvive expectation = iota
+	// expBreak: the run MUST fail — this cell demonstrates fragility.
+	expBreak
+	// expAny: fragile target under an untargeted adversary; either
+	// outcome is consistent with the paper, so the cell only soaks the
+	// monitors and the failure pipeline.
+	expAny
+)
+
+// expect derives a cell's expectation: 0-sensitive targets survive
+// everything (the χ-targeting adversary finds an empty χ); the β
+// synchronizer must fall to χ-targeting and must survive a fault-free
+// run; all other fragile-target cells are informational.
+func expect(b chaos.Builder, adversary string) expectation {
+	switch {
+	case b.Sensitivity == "0":
+		return expSurvive
+	case b.Name == "beta" && adversary == "chi":
+		return expBreak
+	case b.Name == "beta" && adversary == "none":
+		return expSurvive
+	default:
+		return expAny
+	}
+}
+
+func campaign(w io.Writer, opt options) int {
+	cells, unexpected := 0, 0
+	for _, tname := range opt.targets {
+		b, err := chaos.LookupTarget(tname)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fssga-chaos:", err)
+			return 2
+		}
+		for _, adv := range opt.adversaries {
+			for _, gen := range opt.graphs {
+				for _, n := range opt.sizes {
+					for s := 0; s < opt.seeds; s++ {
+						passes := []int{1}
+						if opt.workers > 1 {
+							passes = append(passes, opt.workers)
+						}
+						for _, wk := range passes {
+							cells++
+							cfg := chaos.Config{
+								Target:       tname,
+								Adversary:    adv,
+								Graph:        trace.GraphSpec{Gen: gen, N: n, Seed: int64(s) + 1},
+								Seed:         int64(s)*7919 + 11,
+								Workers:      wk,
+								AttackRounds: opt.attackRounds,
+								MaxRounds:    opt.maxRounds,
+							}
+							if !runCell(w, opt, b, cfg) {
+								unexpected++
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if unexpected > 0 {
+		fmt.Fprintf(w, "FAIL: %d/%d cells violated expectations (artifacts in %s)\n", unexpected, cells, opt.out)
+		return 1
+	}
+	fmt.Fprintf(w, "ok: %d cells matched expectations\n", cells)
+	return 0
+}
+
+// runCell executes one campaign cell and reports whether its outcome
+// matched its expectation. Every break — expected or not — goes through
+// the failure pipeline (bit-identical replay, then shrinking), so the
+// machinery that would fire on a real regression is itself exercised on
+// every campaign.
+func runCell(w io.Writer, opt options, b chaos.Builder, cfg chaos.Config) bool {
+	log, err := chaos.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fssga-chaos: %s × %s: %v\n", cfg.Target, cfg.Adversary, err)
+		return false
+	}
+	broke := log.Violation != ""
+	status := "survived"
+	if broke {
+		status = fmt.Sprintf("BROKE at round %d (%s, critical=%v)", log.Round, log.Violation, log.Critical)
+	}
+	fmt.Fprintf(w, "%-14s × %-7s %s/n=%d seed=%d w=%d: %d rounds, %d faults, %s\n",
+		cfg.Target, cfg.Adversary, cfg.Graph.Gen, cfg.Graph.N, cfg.Seed, cfg.Workers,
+		log.Rounds, len(log.Events), status)
+
+	switch want := expect(b, cfg.Adversary); {
+	case want == expSurvive && broke:
+		saveArtifact(w, opt.out, log)
+		return false
+	case want == expBreak && !broke:
+		fmt.Fprintf(w, "  expected a break (sensitivity %s) but the run survived\n", b.Sensitivity)
+		return false
+	}
+	if broke {
+		return verifyFailurePipeline(w, opt, cfg, log)
+	}
+	return true
+}
+
+// verifyFailurePipeline replays a recorded break bit-for-bit and shrinks
+// its schedule, returning false if either stage disagrees with the
+// recording.
+func verifyFailurePipeline(w io.Writer, opt options, cfg chaos.Config, log *trace.RunLog) bool {
+	if _, err := chaos.VerifyReplay(log); err != nil {
+		fmt.Fprintf(w, "  replay MISMATCH: %v\n", err)
+		saveArtifact(w, opt.out, log)
+		return false
+	}
+	events, err := trace.RecsToEvents(log.Events)
+	if err != nil {
+		fmt.Fprintf(w, "  corrupt event record: %v\n", err)
+		return false
+	}
+	shrunk, execs, ok := chaos.ShrinkEvents(cfg, events)
+	if !ok {
+		fmt.Fprintf(w, "  shrink could not reproduce the failure\n")
+		saveArtifact(w, opt.out, log)
+		return false
+	}
+	fmt.Fprintf(w, "  replay ok; shrunk %d -> %d events (%d executions)\n", len(events), len(shrunk), execs)
+	return true
+}
+
+func saveArtifact(w io.Writer, dir string, log *trace.RunLog) {
+	name := fmt.Sprintf("chaos-%s-%s-%s%d-seed%d.json", log.Target, log.Adversary, log.Graph.Gen, log.Graph.N, log.Seed)
+	path := filepath.Join(dir, name)
+	if err := log.Save(path); err != nil {
+		fmt.Fprintf(os.Stderr, "fssga-chaos: saving artifact: %v\n", err)
+		return
+	}
+	fmt.Fprintf(w, "  artifact: %s (verify with -replay=%s)\n", path, path)
+}
+
+func replayMain(w io.Writer, path string) int {
+	log, err := trace.LoadRunLog(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fssga-chaos:", err)
+		return 2
+	}
+	re, err := chaos.VerifyReplay(log)
+	if err != nil {
+		fmt.Fprintf(w, "replay of %s DIVERGED: %v\n", path, err)
+		return 1
+	}
+	fmt.Fprintf(w, "replay of %s is bit-identical: %d rounds, violation=%q at round %d\n",
+		path, re.Rounds, re.Violation, re.Round)
+	return 0
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/trace"
+)
+
+// The smoke preset is the CI gate: it must exit 0, and its transcript must
+// show the β synchronizer falling to χ-targeting with the failure pipeline
+// (replay + shrink) green.
+func TestSmokeCampaignPasses(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-smoke", "-out=" + t.TempDir()}, &out)
+	if code != 0 {
+		t.Fatalf("smoke exited %d:\n%s", code, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "beta") || !strings.Contains(text, "BROKE") {
+		t.Fatalf("smoke transcript shows no β break:\n%s", text)
+	}
+	if !strings.Contains(text, "replay ok; shrunk") {
+		t.Fatalf("failure pipeline did not run:\n%s", text)
+	}
+}
+
+// An expected-to-survive cell that breaks must write an artifact and make
+// the campaign exit non-zero. The break is forced honestly: shortestpath
+// is 0-sensitive (expSurvive), but a one-round budget leaves it
+// unconverged, so its final distance oracle fails.
+func TestUnexpectedBreakFailsAndWritesArtifact(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	code := run([]string{
+		"-targets=shortestpath", "-adversaries=burst", "-graphs=gnp", "-sizes=24",
+		"-seeds=1", "-workers=1", "-max-rounds=1", "-attack=1", "-out=" + dir,
+	}, &out)
+	if code != 1 {
+		t.Fatalf("truncated run exited %d, want 1:\n%s", code, out.String())
+	}
+	arts, err := filepath.Glob(filepath.Join(dir, "chaos-*.json"))
+	if err != nil || len(arts) == 0 {
+		t.Fatalf("no artifact written (%v):\n%s", err, out.String())
+	}
+	// The artifact itself must replay bit-identically.
+	var rep bytes.Buffer
+	if code := run([]string{"-replay=" + arts[0]}, &rep); code != 0 {
+		t.Fatalf("replay of artifact exited %d:\n%s", code, rep.String())
+	}
+	if !strings.Contains(rep.String(), "bit-identical") {
+		t.Fatalf("replay transcript: %s", rep.String())
+	}
+}
+
+func TestReplayDetectsDoctoredArtifact(t *testing.T) {
+	log, err := chaos.Run(chaos.Config{
+		Target:    "beta",
+		Adversary: "chi",
+		Graph:     trace.GraphSpec{Gen: "gnp", N: 24, Seed: 5},
+		Seed:      11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Violation == "" {
+		t.Fatal("β × chi survived; cannot test replay divergence")
+	}
+	log.Digests[len(log.Digests)-1] ^= 1
+	path := filepath.Join(t.TempDir(), "doctored.json")
+	if err := log.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code := run([]string{"-replay=" + path}, &out); code != 1 {
+		t.Fatalf("doctored artifact exited %d, want 1:\n%s", code, out.String())
+	}
+}
+
+func TestBadFlagsExitTwo(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-sizes=banana"}, &out); code != 2 {
+		t.Fatalf("bad size exited %d, want 2", code)
+	}
+	if code := run([]string{"-targets=nope"}, &out); code != 2 {
+		t.Fatalf("unknown target exited %d, want 2", code)
+	}
+	if code := run([]string{"-replay=" + filepath.Join(t.TempDir(), "missing.json")}, &out); code != 2 {
+		t.Fatalf("missing artifact exited %d, want 2", code)
+	}
+}

@@ -88,51 +88,7 @@ func fail(err error) {
 }
 
 func buildGraph(name string, n int, seed int64) (*graph.Graph, error) {
-	rng := rand.New(rand.NewSource(seed))
-	switch name {
-	case "path":
-		return graph.Path(n), nil
-	case "cycle":
-		return graph.Cycle(n), nil
-	case "oddcycle":
-		return graph.Cycle(2*(n/2) + 1), nil
-	case "grid":
-		s := 1
-		for (s+1)*(s+1) <= n {
-			s++
-		}
-		return graph.Grid(s, s), nil
-	case "torus":
-		s := 3
-		for (s+1)*(s+1) <= n {
-			s++
-		}
-		return graph.Torus(s, s), nil
-	case "complete":
-		return graph.Complete(n), nil
-	case "star":
-		return graph.Star(n), nil
-	case "tree":
-		return graph.RandomTree(n, rng), nil
-	case "gnp":
-		return graph.RandomConnectedGNP(n, 4.0/float64(n), rng), nil
-	case "hypercube":
-		d := 1
-		for 1<<uint(d+1) <= n {
-			d++
-		}
-		return graph.Hypercube(d), nil
-	case "barbell":
-		return graph.Barbell(n/2, 1), nil
-	case "theta":
-		k := n / 3
-		if k < 1 {
-			k = 1
-		}
-		return graph.Theta(k, k, k), nil
-	default:
-		return nil, fmt.Errorf("unknown graph %q", name)
-	}
+	return graph.Build(name, n, seed)
 }
 
 func runCensus(g *graph.Graph, seed int64) {

@@ -150,6 +150,27 @@ func (automaton) Step(self State, view *fssga.View[State], rnd *rand.Rand) State
 	}
 }
 
+// Regressed reports an invariant-violating transition from old to next:
+// the Originator/Target flags are immutable, a label never changes once
+// assigned, and the status only moves Waiting→{Found, Failed} and then
+// freezes. These hold under arbitrary decreasing faults, so the chaos
+// harness checks them every round. It returns "" for a legal transition.
+func Regressed(old, next State) string {
+	if old.Originator != next.Originator || old.Target != next.Target {
+		return fmt.Sprintf("immutable flags changed: %+v -> %+v", old, next)
+	}
+	if old.Label != NoLabel && next.Label != old.Label {
+		return fmt.Sprintf("assigned label changed: %d -> %d", old.Label, next.Label)
+	}
+	if old.Status != Waiting && next.Status != old.Status {
+		return fmt.Sprintf("status regressed: %v -> %v", old.Status, next.Status)
+	}
+	if next.Label == NoLabel && old.Label != NoLabel {
+		return fmt.Sprintf("label erased: %d -> none", old.Label)
+	}
+	return ""
+}
+
 // NewNetwork builds a BFS network with the given originator and target
 // set. Targets may be empty (pure BFS labelling; the originator then ends
 // Failed once the wave exhausts its component).

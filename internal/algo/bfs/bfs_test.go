@@ -223,3 +223,65 @@ func TestStepPredecessorFoundMeansDoNothing(t *testing.T) {
 		t.Fatalf("status = %v, want waiting (do nothing)", out.Status)
 	}
 }
+
+func TestRegressed(t *testing.T) {
+	base := State{Label: 1, Status: Found}
+	legal := []struct{ old, next State }{
+		{State{Label: NoLabel}, State{Label: 2}},           // wave arrives
+		{State{Label: 1}, State{Label: 1, Status: Found}},  // report
+		{State{Label: 1}, State{Label: 1, Status: Failed}}, // give up
+		{base, base}, // frozen
+	}
+	for i, c := range legal {
+		if msg := Regressed(c.old, c.next); msg != "" {
+			t.Fatalf("legal case %d flagged: %s", i, msg)
+		}
+	}
+	illegal := []struct{ old, next State }{
+		{State{Label: 1}, State{Label: 2}},                                 // label rewrite
+		{State{Label: 1}, State{Label: NoLabel}},                           // label erased
+		{State{Label: 1, Status: Found}, State{Label: 1, Status: Waiting}}, // status back
+		{State{Label: 1, Status: Failed}, State{Label: 1, Status: Found}},  // status flip
+		{State{Originator: true, Label: 0}, State{Label: 0}},               // flag flip
+		{State{Target: true, Label: NoLabel}, State{Label: 1}},             // flag flip
+	}
+	for i, c := range illegal {
+		if Regressed(c.old, c.next) == "" {
+			t.Fatalf("illegal case %d not flagged", i)
+		}
+	}
+}
+
+// TestRegressedNeverFiresOnRealRuns: a faulted synchronous run never takes
+// an illegal transition.
+func TestRegressedNeverFiresOnRealRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := graph.RandomConnectedGNP(30, 0.12, rng)
+	g.Seal()
+	net, err := NewNetwork(g, 0, []int{29}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := make([]State, g.Cap())
+	for v := range prev {
+		prev[v] = net.State(v)
+	}
+	for r := 1; r <= 40; r++ {
+		if r == 5 {
+			g.RemoveNode(7)
+		}
+		if r == 9 {
+			g.RemoveEdge(0, g.NeighborsSorted(0)[0])
+		}
+		net.SyncRound()
+		for v := 0; v < g.Cap(); v++ {
+			if !g.Alive(v) {
+				continue
+			}
+			if msg := Regressed(prev[v], net.State(v)); msg != "" {
+				t.Fatalf("round %d node %d: %s", r, v, msg)
+			}
+			prev[v] = net.State(v)
+		}
+	}
+}

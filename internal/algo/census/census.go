@@ -130,6 +130,19 @@ func NewNetwork(g *graph.Graph, cfg Config) (*fssga.Network[State], error) {
 	}, cfg.Seed), nil
 }
 
+// SubState reports whether a ≤ b in the sketch lattice: every bit set in
+// any sketch of a is also set in b. The iterated-OR update only moves
+// states up this order, which is the live monotonicity invariant the
+// chaos harness checks every round.
+func SubState(a, b State) bool {
+	for j := range a {
+		if a[j]&^b[j] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // firstZero returns the 0-based index of the lowest zero bit of mask
 // within the first `bits` bits (bits if none).
 func firstZero(mask uint16, bits int) int {

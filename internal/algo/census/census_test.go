@@ -238,3 +238,47 @@ func TestAsyncConvergesToSameFixedPoint(t *testing.T) {
 		}
 	}
 }
+
+func TestSubState(t *testing.T) {
+	a := State{0b0101, 0b0011}
+	b := State{0b0111, 0b1011}
+	if !SubState(a, b) {
+		t.Fatal("a should be below b")
+	}
+	if SubState(b, a) {
+		t.Fatal("b should not be below a")
+	}
+	if !SubState(a, a) {
+		t.Fatal("SubState must be reflexive")
+	}
+	c := a
+	c[3] = 1 // bit in a sketch slot where a has none
+	if SubState(c, a) {
+		t.Fatal("extra sketch bit must break the order")
+	}
+}
+
+// TestSubStateMatchesStepMonotonicity: every Step transition moves the
+// state up the SubState order — the invariant the chaos monitor relies on.
+func TestSubStateMatchesStepMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.RandomConnectedGNP(24, 0.15, rng)
+	cfg := Config{Bits: 10, Sketches: 4, Seed: 11}
+	net, err := NewNetwork(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := make([]State, g.Cap())
+	for v := range prev {
+		prev[v] = net.State(v)
+	}
+	for r := 0; r < 10; r++ {
+		net.SyncRound()
+		for v := 0; v < g.Cap(); v++ {
+			if !SubState(prev[v], net.State(v)) {
+				t.Fatalf("round %d node %d: state moved down the lattice", r+1, v)
+			}
+			prev[v] = net.State(v)
+		}
+	}
+}

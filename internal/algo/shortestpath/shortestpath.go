@@ -85,6 +85,25 @@ func NewNetwork(g *graph.Graph, targets []int, cap int, seed int64) (*fssga.Netw
 	}, seed), nil
 }
 
+// StepInvariant reports an invariant-violating transition from old to
+// next under label cap `cap`: target membership is immutable, a target's
+// label is pinned to 0, and every label stays within [0, cap]. These hold
+// under arbitrary decreasing faults (labels may move in either direction
+// as targets become unreachable), so the chaos harness checks them every
+// round. It returns "" for a legal transition.
+func StepInvariant(old, next State, cap int) string {
+	if old.InT != next.InT {
+		return fmt.Sprintf("target membership changed: %+v -> %+v", old, next)
+	}
+	if next.InT && next.Label != 0 {
+		return fmt.Sprintf("target label moved off 0: %+v", next)
+	}
+	if next.Label < 0 || next.Label > cap {
+		return fmt.Sprintf("label out of range [0,%d]: %+v", cap, next)
+	}
+	return ""
+}
+
 // Result summarizes a run.
 type Result struct {
 	Rounds    int

@@ -189,3 +189,28 @@ func TestMultipleTargetsNearest(t *testing.T) {
 		}
 	}
 }
+
+func TestStepInvariant(t *testing.T) {
+	legal := []struct{ old, next State }{
+		{State{Label: 10}, State{Label: 3}},  // labels fall
+		{State{Label: 3}, State{Label: 10}},  // and rise (cut off)
+		{State{InT: true}, State{InT: true}}, // target pinned
+	}
+	for i, c := range legal {
+		if msg := StepInvariant(c.old, c.next, 10); msg != "" {
+			t.Fatalf("legal case %d flagged: %s", i, msg)
+		}
+	}
+	illegal := []struct{ old, next State }{
+		{State{InT: true}, State{Label: 3}},            // membership change
+		{State{Label: 3}, State{InT: true, Label: 0}},  // membership change
+		{State{InT: true}, State{InT: true, Label: 1}}, // target off 0
+		{State{Label: 3}, State{Label: 11}},            // above cap
+		{State{Label: 3}, State{Label: -1}},            // below 0
+	}
+	for i, c := range illegal {
+		if StepInvariant(c.old, c.next, 10) == "" {
+			t.Fatalf("illegal case %d not flagged", i)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+// Package chaos is the adversarial fault-injection and verification
+// subsystem: adaptive fault adversaries that decide kills *during* a run
+// from observed state (rather than the pre-computed uniform schedules of
+// internal/faults), live invariant monitors checked every round,
+// deterministic record/replay of whole runs via trace.RunLog artifacts,
+// and delta-debugging shrinking of failing fault schedules.
+//
+// The paper's thesis (Section 2) is that low-sensitivity FSSGA algorithms
+// survive decreasing benign faults wherever they land, while
+// high-sensitivity ones are broken by well-placed faults. The chaos
+// harness probes exactly that boundary: the χ-targeting adversary attacks
+// an algorithm's critical-node set χ, so 0-sensitive algorithms (empty χ)
+// give it nothing to aim at while the Θ(n)-sensitive β synchronizer falls
+// to a single well-placed kill.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/faults"
+	"repro/internal/graph"
+)
+
+// Observation is the adversary-visible summary of the system under test,
+// captured just before a round executes.
+type Observation struct {
+	// Chi is the algorithm's current critical-node set χ(σ) — empty for
+	// 0-sensitive algorithms, which is precisely why targeting it proves
+	// the paper's sensitivity taxonomy.
+	Chi []int
+	// Protected lists nodes the adversary must not kill (problem-statement
+	// nodes such as shortest-path targets or the BFS originator, whose
+	// death changes the question rather than testing resilience). The
+	// runner enforces this even for adversaries that ignore it.
+	Protected []int
+}
+
+// Adversary decides fault events during a run. Next is invoked once
+// before every round with the current (pre-round) topology and
+// observation; the returned events are delivered immediately, before the
+// round's snapshot is read — the same semantics as faults.Injector.Advance
+// followed by a synchronous round. Implementations must be deterministic
+// given their construction seed.
+type Adversary interface {
+	Name() string
+	Next(g *graph.Graph, step int, obs Observation) []faults.Event
+}
+
+// None is the empty adversary: a chaos run with fault-free control
+// semantics.
+type None struct{}
+
+// Name implements Adversary.
+func (None) Name() string { return "none" }
+
+// Next implements Adversary.
+func (None) Next(*graph.Graph, int, Observation) []faults.Event { return nil }
+
+// ChiTargeting attacks the algorithm's critical-node set: every Every
+// rounds it kills one uniformly random live χ node, up to Budget kills.
+// Against a 0-sensitive algorithm (empty χ) it never fires — the paper's
+// point made executable.
+type ChiTargeting struct {
+	Budget int
+	Every  int
+	rng    *rand.Rand
+}
+
+// NewChiTargeting builds a χ-targeting adversary with the given kill
+// budget and attack period (both forced to at least 1).
+func NewChiTargeting(budget, every int, seed int64) *ChiTargeting {
+	if budget < 1 {
+		budget = 1
+	}
+	if every < 1 {
+		every = 1
+	}
+	return &ChiTargeting{Budget: budget, Every: every, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Adversary.
+func (a *ChiTargeting) Name() string { return "chi" }
+
+// Next implements Adversary.
+func (a *ChiTargeting) Next(g *graph.Graph, step int, obs Observation) []faults.Event {
+	if a.Budget <= 0 || step%a.Every != 0 {
+		return nil
+	}
+	candidates := eligible(g, obs.Chi, obs.Protected)
+	if len(candidates) == 0 {
+		return nil
+	}
+	v := candidates[a.rng.Intn(len(candidates))]
+	a.Budget--
+	return []faults.Event{faults.NodeAt(step, v)}
+}
+
+// CutTargeting attacks connectivity structure: every Every rounds it
+// removes a bridge edge of the current graph (separating two components
+// outright); if the graph has no bridges it kills a minimum-degree
+// unprotected node, the cheapest step toward creating one. Up to Budget
+// events.
+type CutTargeting struct {
+	Budget int
+	Every  int
+	rng    *rand.Rand
+}
+
+// NewCutTargeting builds a cut-targeting adversary.
+func NewCutTargeting(budget, every int, seed int64) *CutTargeting {
+	if budget < 1 {
+		budget = 1
+	}
+	if every < 1 {
+		every = 1
+	}
+	return &CutTargeting{Budget: budget, Every: every, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Adversary.
+func (a *CutTargeting) Name() string { return "cut" }
+
+// Next implements Adversary.
+func (a *CutTargeting) Next(g *graph.Graph, step int, obs Observation) []faults.Event {
+	if a.Budget <= 0 || step%a.Every != 0 {
+		return nil
+	}
+	if bridges := g.Bridges(); len(bridges) > 0 {
+		e := bridges[a.rng.Intn(len(bridges))]
+		a.Budget--
+		return []faults.Event{faults.EdgeAt(step, e.U, e.V)}
+	}
+	// No bridge: kill a minimum-degree unprotected node (ties broken by
+	// smallest ID for determinism).
+	prot := toSet(obs.Protected)
+	best, bestDeg := -1, 0
+	for v := 0; v < g.Cap(); v++ {
+		if !g.Alive(v) || prot[v] {
+			continue
+		}
+		if d := g.Degree(v); best == -1 || d < bestDeg {
+			best, bestDeg = v, d
+		}
+	}
+	if best == -1 {
+		return nil
+	}
+	a.Budget--
+	return []faults.Event{faults.NodeAt(step, best)}
+}
+
+// Burst delivers one batch of K uniformly random kills (nodes with
+// probability NodeFrac, edges otherwise) all at round AtStep — the
+// correlated-failure pattern a rack loss or partition produces, which
+// spread-out uniform schedules never exercise.
+type Burst struct {
+	AtStep   int
+	K        int
+	NodeFrac float64
+	rng      *rand.Rand
+}
+
+// NewBurst builds a burst adversary striking at the given round.
+func NewBurst(atStep, k int, nodeFrac float64, seed int64) *Burst {
+	if atStep < 1 {
+		atStep = 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	return &Burst{AtStep: atStep, K: k, NodeFrac: nodeFrac, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Adversary.
+func (a *Burst) Name() string { return "burst" }
+
+// Next implements Adversary.
+func (a *Burst) Next(g *graph.Graph, step int, obs Observation) []faults.Event {
+	if step != a.AtStep {
+		return nil
+	}
+	prot := toSet(obs.Protected)
+	var nodes []int
+	for v := 0; v < g.Cap(); v++ {
+		if g.Alive(v) && !prot[v] {
+			nodes = append(nodes, v)
+		}
+	}
+	edges := g.Edges()
+	var out []faults.Event
+	for i := 0; i < a.K; i++ {
+		wantNode := a.rng.Float64() < a.NodeFrac
+		switch {
+		case (wantNode || len(edges) == 0) && len(nodes) > 0:
+			out = append(out, faults.NodeAt(step, nodes[a.rng.Intn(len(nodes))]))
+		case len(edges) > 0:
+			e := edges[a.rng.Intn(len(edges))]
+			out = append(out, faults.EdgeAt(step, e.U, e.V))
+		}
+	}
+	return out
+}
+
+// Static adapts any pre-computed faults.Schedule to the Adversary
+// interface, delivering each event the first time the run reaches its
+// AtStep. Replay adversaries are Static over a recorded event list.
+type Static struct {
+	Label string
+	sched faults.Schedule
+	idx   int
+}
+
+// NewStatic wraps a schedule (sorted defensively, like faults.NewInjector).
+func NewStatic(label string, s faults.Schedule) *Static {
+	c := append(faults.Schedule(nil), s...)
+	c.Sort()
+	return &Static{Label: label, sched: c}
+}
+
+// Replay builds the adversary that re-delivers a recorded event list
+// verbatim — the replay half of record/replay.
+func Replay(events []faults.Event) *Static { return NewStatic("replay", events) }
+
+// Name implements Adversary.
+func (a *Static) Name() string {
+	if a.Label != "" {
+		return a.Label
+	}
+	return "static"
+}
+
+// Next implements Adversary.
+func (a *Static) Next(g *graph.Graph, step int, obs Observation) []faults.Event {
+	var out []faults.Event
+	for a.idx < len(a.sched) && a.sched[a.idx].AtStep <= step {
+		out = append(out, a.sched[a.idx])
+		a.idx++
+	}
+	return out
+}
+
+// eligible returns the live members of candidates that are not protected.
+func eligible(g *graph.Graph, candidates, protected []int) []int {
+	prot := toSet(protected)
+	var out []int
+	for _, v := range candidates {
+		if g.Alive(v) && !prot[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func toSet(vs []int) map[int]bool {
+	if len(vs) == 0 {
+		return nil
+	}
+	m := make(map[int]bool, len(vs))
+	for _, v := range vs {
+		m[v] = true
+	}
+	return m
+}
+
+// NewAdversary builds a registered adversary by name, scaled to a graph
+// of n0 initial nodes and attack horizon attackRounds. The "random"
+// adversary is the uniform RandomSchedule baseline wrapped as Static, so
+// campaigns compare adaptive placement against fault volume directly.
+func NewAdversary(name string, g *graph.Graph, n0, attackRounds int, seed int64) (Adversary, error) {
+	switch name {
+	case "none":
+		return None{}, nil
+	case "chi":
+		return NewChiTargeting(max(1, n0/8), 3, seed), nil
+	case "cut":
+		return NewCutTargeting(max(1, n0/8), 5, seed), nil
+	case "burst":
+		return NewBurst(max(1, attackRounds/2), max(1, n0/4), 0.7, seed), nil
+	case "random":
+		rng := rand.New(rand.NewSource(seed))
+		rate := float64(max(1, n0/8)) / float64(max(1, attackRounds))
+		return NewStatic("random", faults.RandomSchedule(g, attackRounds, rate, 0.5, rng)), nil
+	default:
+		return nil, fmt.Errorf("chaos: unknown adversary %q", name)
+	}
+}
+
+// AdversaryNames lists the names NewAdversary accepts.
+var AdversaryNames = []string{"none", "chi", "cut", "burst", "random"}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,128 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/graph"
+)
+
+func TestNewAdversaryFactory(t *testing.T) {
+	g := graph.Path(8)
+	for _, name := range AdversaryNames {
+		adv, err := NewAdversary(name, g, 8, 16, 1)
+		if err != nil {
+			t.Fatalf("NewAdversary(%q): %v", name, err)
+		}
+		if adv.Name() != name {
+			t.Errorf("adversary %q reports name %q", name, adv.Name())
+		}
+	}
+	if _, err := NewAdversary("bogus", g, 8, 16, 1); err == nil {
+		t.Fatal("unknown adversary accepted")
+	}
+}
+
+func TestChiTargetingKillsOnlyEligibleChi(t *testing.T) {
+	g := graph.Path(8)
+	adv := NewChiTargeting(2, 3, 1)
+	obs := Observation{Chi: []int{3, 4}, Protected: []int{3}}
+	if evs := adv.Next(g, 1, obs); evs != nil {
+		t.Fatalf("fired off-period at step 1: %v", evs)
+	}
+	evs := adv.Next(g, 3, obs)
+	if len(evs) != 1 || evs[0].Kind != faults.KillNode || evs[0].Node != 4 {
+		t.Fatalf("step 3: want kill of the only eligible χ node 4, got %v", evs)
+	}
+	g.RemoveNode(4)
+	if evs := adv.Next(g, 6, obs); evs != nil {
+		t.Fatalf("fired with no eligible χ node left: %v", evs)
+	}
+	// Budget exhausts after the second successful kill.
+	obs2 := Observation{Chi: []int{5, 6}}
+	if evs := adv.Next(g, 9, obs2); len(evs) != 1 {
+		t.Fatalf("second kill should fire, got %v", evs)
+	}
+	if evs := adv.Next(g, 12, obs2); evs != nil {
+		t.Fatalf("fired past budget: %v", evs)
+	}
+}
+
+func TestChiTargetingEmptyChiNeverFires(t *testing.T) {
+	g := graph.Path(6)
+	adv := NewChiTargeting(10, 1, 7)
+	for step := 1; step <= 20; step++ {
+		if evs := adv.Next(g, step, Observation{}); evs != nil {
+			t.Fatalf("χ-targeting fired against an empty χ at step %d: %v", step, evs)
+		}
+	}
+}
+
+func TestCutTargetingPrefersBridges(t *testing.T) {
+	g := graph.Path(6) // every edge is a bridge
+	adv := NewCutTargeting(1, 1, 3)
+	evs := adv.Next(g, 1, Observation{})
+	if len(evs) != 1 || evs[0].Kind != faults.KillEdge {
+		t.Fatalf("want a bridge-edge kill on a path, got %v", evs)
+	}
+	if !g.HasEdge(evs[0].Edge.U, evs[0].Edge.V) {
+		t.Fatalf("targeted edge %v does not exist", evs[0].Edge)
+	}
+}
+
+func TestCutTargetingFallsBackToMinDegreeNode(t *testing.T) {
+	g := graph.Complete(5) // bridgeless
+	adv := NewCutTargeting(1, 1, 3)
+	evs := adv.Next(g, 1, Observation{Protected: []int{0}})
+	// All degrees equal; smallest unprotected ID wins the tie.
+	if len(evs) != 1 || evs[0].Kind != faults.KillNode || evs[0].Node != 1 {
+		t.Fatalf("want fallback kill of node 1, got %v", evs)
+	}
+}
+
+func TestBurstFiresOnceAtItsStep(t *testing.T) {
+	g := graph.Complete(8)
+	adv := NewBurst(4, 3, 1.0, 9) // nodes only
+	for step := 1; step <= 8; step++ {
+		evs := adv.Next(g, step, Observation{Protected: []int{0}})
+		if step != 4 {
+			if evs != nil {
+				t.Fatalf("burst fired at step %d: %v", step, evs)
+			}
+			continue
+		}
+		if len(evs) != 3 {
+			t.Fatalf("burst at step 4: want 3 events, got %v", evs)
+		}
+		for _, e := range evs {
+			if e.Kind != faults.KillNode || e.Node == 0 {
+				t.Fatalf("burst produced %v (protected node or wrong kind)", e)
+			}
+		}
+	}
+}
+
+func TestStaticDeliversAtRecordedSteps(t *testing.T) {
+	sched := faults.Schedule{
+		faults.NodeAt(5, 1),
+		faults.NodeAt(2, 3),
+		faults.EdgeAt(2, 0, 1),
+	}
+	adv := NewStatic("", sched)
+	g := graph.Path(6)
+	if got := adv.Next(g, 1, Observation{}); got != nil {
+		t.Fatalf("step 1: want nothing, got %v", got)
+	}
+	if got := adv.Next(g, 2, Observation{}); len(got) != 2 {
+		t.Fatalf("step 2: want both step-2 events, got %v", got)
+	}
+	if got := adv.Next(g, 5, Observation{}); len(got) != 1 || got[0].Node != 1 {
+		t.Fatalf("step 5: want the step-5 kill, got %v", got)
+	}
+	if got := adv.Next(g, 9, Observation{}); got != nil {
+		t.Fatalf("exhausted schedule still delivering: %v", got)
+	}
+	if adv.Name() != "static" {
+		t.Errorf("unlabeled static adversary named %q", adv.Name())
+	}
+}

@@ -1,0 +1,60 @@
+package chaos
+
+import (
+	"math/rand"
+
+	"repro/internal/fssga"
+)
+
+// RecordingScheduler wraps any asynchronous scheduler and records the
+// sequence of node picks, so a randomized asynchronous execution can be
+// stored in a trace.RunLog (Picks field) and replayed exactly.
+type RecordingScheduler struct {
+	Inner fssga.Scheduler
+	Picks []int
+}
+
+// Pick implements fssga.Scheduler.
+func (s *RecordingScheduler) Pick(alive []int, rng *rand.Rand) int {
+	v := s.Inner.Pick(alive, rng)
+	s.Picks = append(s.Picks, v)
+	return v
+}
+
+// ReplayScheduler re-issues a recorded pick sequence. It panics if asked
+// for more picks than were recorded or if a recorded pick is no longer
+// live — either means the replayed run diverged from the original, which
+// deterministic replay rules out.
+type ReplayScheduler struct {
+	Picks []int
+	pos   int
+}
+
+// Pick implements fssga.Scheduler.
+func (s *ReplayScheduler) Pick(alive []int, rng *rand.Rand) int {
+	if s.pos >= len(s.Picks) {
+		panic("chaos: ReplayScheduler exhausted — replay ran longer than the recording")
+	}
+	v := s.Picks[s.pos]
+	s.pos++
+	if !sortedContains(alive, v) {
+		panic("chaos: ReplayScheduler pick is dead — replay diverged from the recording")
+	}
+	return v
+}
+
+// Remaining returns how many recorded picks have not been replayed yet.
+func (s *ReplayScheduler) Remaining() int { return len(s.Picks) - s.pos }
+
+func sortedContains(a []int, x int) bool {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(a) && a[lo] == x
+}

@@ -1,0 +1,79 @@
+package chaos
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/algo/census"
+	"repro/internal/fssga"
+	"repro/internal/graph"
+)
+
+func asyncNet(t *testing.T) (*graph.Graph, *fssga.Network[census.State]) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	g := graph.RandomConnectedGNP(12, 4.0/12, rng)
+	g.Seal()
+	net, err := census.NewNetwork(g, census.Config{Bits: 8, Sketches: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, net
+}
+
+// A randomized asynchronous execution recorded through RecordingScheduler
+// replays to the identical final state via ReplayScheduler — the async
+// half of the record/replay contract (the Picks field of trace.RunLog).
+func TestAsyncRecordReplay(t *testing.T) {
+	g, net := asyncNet(t)
+	rec := &RecordingScheduler{Inner: &fssga.FairShuffle{}}
+	const activations = 200
+	net.RunAsync(rec, 42, activations, nil)
+	if len(rec.Picks) != activations {
+		t.Fatalf("recorded %d picks, want %d", len(rec.Picks), activations)
+	}
+	want := append([]census.State(nil), net.States()...)
+
+	_, net2 := asyncNet(t)
+	// A different RunAsync seed must not matter: the replayed picks fully
+	// determine the execution.
+	net2.RunAsync(&ReplayScheduler{Picks: rec.Picks}, 999, activations, nil)
+	if !reflect.DeepEqual(want, net2.States()) {
+		t.Fatal("replayed async execution diverged from the recording")
+	}
+	_ = g
+}
+
+func TestReplaySchedulerExhaustionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on exhausted recording")
+		}
+	}()
+	s := &ReplayScheduler{Picks: []int{0}}
+	rng := rand.New(rand.NewSource(1))
+	s.Pick([]int{0, 1}, rng)
+	s.Pick([]int{0, 1}, rng)
+}
+
+func TestReplaySchedulerDeadPickPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on a dead recorded pick")
+		}
+	}()
+	s := &ReplayScheduler{Picks: []int{7}}
+	s.Pick([]int{0, 1, 2}, rand.New(rand.NewSource(1)))
+}
+
+func TestReplaySchedulerRemaining(t *testing.T) {
+	s := &ReplayScheduler{Picks: []int{2, 0}}
+	if s.Remaining() != 2 {
+		t.Fatalf("Remaining = %d, want 2", s.Remaining())
+	}
+	s.Pick([]int{0, 2}, rand.New(rand.NewSource(1)))
+	if s.Remaining() != 1 {
+		t.Fatalf("Remaining = %d, want 1", s.Remaining())
+	}
+}

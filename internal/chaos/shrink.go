@@ -1,0 +1,50 @@
+package chaos
+
+import "repro/internal/faults"
+
+// ShrinkEvents delta-debugs a failing fault schedule down to a locally
+// minimal one: it repeatedly re-executes cfg with candidate subsets of
+// events (as a Static adversary, so delivery rounds are preserved) and
+// keeps any subset that still produces a violation. A chunk-halving pass
+// discards large irrelevant spans cheaply; a single-removal pass run to
+// fixpoint then guarantees 1-minimality — removing ANY single remaining
+// event makes the run pass.
+//
+// It returns the shrunk events and the number of re-executions spent. If
+// the input schedule does not reproduce a violation (flaky setup, wrong
+// config), the input is returned unchanged with reproduced=false.
+func ShrinkEvents(cfg Config, events []faults.Event) (shrunk []faults.Event, execs int, reproduced bool) {
+	fails := func(cand []faults.Event) bool {
+		execs++
+		log, err := Execute(cfg, NewStatic("shrink", cand))
+		return err == nil && log.Violation != ""
+	}
+	cur := append([]faults.Event(nil), events...)
+	if !fails(cur) {
+		return cur, execs, false
+	}
+	// Chunk-halving pass: try dropping progressively smaller spans.
+	for size := len(cur) / 2; size >= 1; size /= 2 {
+		for i := 0; i+size <= len(cur); {
+			cand := append(append([]faults.Event(nil), cur[:i]...), cur[i+size:]...)
+			if fails(cand) {
+				cur = cand // span was irrelevant; keep position, list shrank
+			} else {
+				i += size
+			}
+		}
+	}
+	// Single-removal fixpoint: after this, every event is load-bearing.
+	for again := true; again; {
+		again = false
+		for i := 0; i < len(cur); i++ {
+			cand := append(append([]faults.Event(nil), cur[:i]...), cur[i+1:]...)
+			if fails(cand) {
+				cur = cand
+				again = true
+				i--
+			}
+		}
+	}
+	return cur, execs, true
+}

@@ -1,0 +1,65 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/trace"
+)
+
+// Shrinking a recorded β break must land on a locally-minimal schedule:
+// the result still fails, and removing ANY single remaining event makes
+// the run pass (1-minimality, checked exhaustively).
+func TestShrinkBetaBreakIsOneMinimal(t *testing.T) {
+	cfg := Config{Target: "beta", Adversary: "burst", Graph: gnp24(5), Seed: 11}
+	log, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Violation == "" {
+		t.Fatal("burst left the β synchronizer intact; shrink test needs a failure")
+	}
+	events, err := trace.RecsToEvents(log.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shrunk, execs, reproduced := ShrinkEvents(cfg, events)
+	if !reproduced {
+		t.Fatal("recorded failure did not reproduce under Static replay")
+	}
+	if len(shrunk) == 0 || len(shrunk) > len(events) {
+		t.Fatalf("shrunk to %d events from %d", len(shrunk), len(events))
+	}
+	t.Logf("shrunk %d -> %d events in %d executions", len(events), len(shrunk), execs)
+	// The shrunk schedule still fails…
+	relog, err := Execute(cfg, NewStatic("check", shrunk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relog.Violation == "" {
+		t.Fatal("shrunk schedule no longer fails")
+	}
+	// …and every event is load-bearing.
+	for i := range shrunk {
+		cand := append(append([]faults.Event(nil), shrunk[:i]...), shrunk[i+1:]...)
+		sublog, err := Execute(cfg, NewStatic("check", cand))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sublog.Violation != "" {
+			t.Errorf("dropping event %d (%+v) still fails: not 1-minimal", i, shrunk[i])
+		}
+	}
+}
+
+func TestShrinkReportsNonReproducing(t *testing.T) {
+	cfg := Config{Target: "census", Adversary: "none", Graph: gnp24(3), Seed: 7}
+	in := []faults.Event{faults.NodeAt(1, 5)}
+	out, _, reproduced := ShrinkEvents(cfg, in)
+	if reproduced {
+		t.Fatal("a benign kill reported as reproducing a failure")
+	}
+	if len(out) != len(in) {
+		t.Fatalf("non-reproducing input was modified: %v", out)
+	}
+}

@@ -67,12 +67,14 @@ func EdgeAt(step, u, w int) Event {
 	return Event{AtStep: step, Kind: KillEdge, Edge: graph.NormEdge(u, w)}
 }
 
-// RandomSchedule builds a schedule that kills approximately
-// rate*steps events spread uniformly over steps 1..steps, each
-// independently a node kill (probability nodeFrac) or an edge kill,
-// targeting uniformly random live-at-construction nodes/edges of g.
-// Duplicate targets are permitted; applying a fault to an already-dead
-// target is a no-op.
+// RandomSchedule builds a schedule that kills exactly int(rate*steps)
+// events spread uniformly over steps 1..steps, each independently a node
+// kill (probability nodeFrac) or an edge kill, targeting uniformly random
+// live-at-construction nodes/edges of g. When the rolled kind has no
+// targets the event falls back to the other kind, so the schedule only
+// under-delivers when the graph has neither nodes nor edges. Duplicate
+// targets are permitted; applying a fault to an already-dead target is a
+// no-op.
 func RandomSchedule(g *graph.Graph, steps int, rate, nodeFrac float64, rng *rand.Rand) Schedule {
 	if rate < 0 || nodeFrac < 0 || nodeFrac > 1 {
 		panic(fmt.Sprintf("faults: bad parameters rate=%v nodeFrac=%v", rate, nodeFrac))
@@ -83,15 +85,38 @@ func RandomSchedule(g *graph.Graph, steps int, rate, nodeFrac float64, rng *rand
 	var s Schedule
 	for i := 0; i < count; i++ {
 		step := 1 + rng.Intn(steps)
-		if rng.Float64() < nodeFrac && len(nodes) > 0 {
+		wantNode := rng.Float64() < nodeFrac
+		switch {
+		case (wantNode || len(edges) == 0) && len(nodes) > 0:
 			s = append(s, NodeAt(step, nodes[rng.Intn(len(nodes))]))
-		} else if len(edges) > 0 {
+		case len(edges) > 0:
 			e := edges[rng.Intn(len(edges))]
 			s = append(s, EdgeAt(step, e.U, e.V))
 		}
 	}
 	s.Sort()
 	return s
+}
+
+// ApplyNow applies the events to g immediately (ignoring AtStep) and
+// returns the ones that actually changed the graph, mirroring the
+// Injector's skip-dead-targets semantics. Adaptive adversaries
+// (internal/chaos) use it to deliver events decided mid-run.
+func ApplyNow(g *graph.Graph, events []Event) []Event {
+	var fired []Event
+	for _, e := range events {
+		changed := false
+		switch e.Kind {
+		case KillNode:
+			changed = g.RemoveNode(e.Node)
+		case KillEdge:
+			changed = g.RemoveEdge(e.Edge.U, e.Edge.V)
+		}
+		if changed {
+			fired = append(fired, e)
+		}
+	}
+	return fired
 }
 
 // Injector applies a Schedule to a graph as steps advance.

@@ -109,11 +109,143 @@ func TestRandomScheduleProperties(t *testing.T) {
 	}
 }
 
+// TestRandomScheduleFullDelivery: whenever the graph has any target at
+// all, the schedule must contain exactly int(rate*steps) events — the
+// rolled kind falls back to the other kind instead of silently dropping
+// the event (the old behaviour).
+func TestRandomScheduleFullDelivery(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"nodes-and-edges", graph.Path(6)},
+		{"nodes-only", graph.New(4)}, // 4 isolated nodes, no edges
+		{"single-node", graph.New(1)},
+	}
+	for _, c := range cases {
+		for seed := int64(0); seed < 10; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			for _, nodeFrac := range []float64{0, 0.5, 1} {
+				s := RandomSchedule(c.g, 40, 0.25, nodeFrac, rng)
+				if len(s) != 10 {
+					t.Fatalf("%s seed=%d nodeFrac=%v: %d events, want 10",
+						c.name, seed, nodeFrac, len(s))
+				}
+			}
+		}
+	}
+	// A graph with no live nodes has no targets: zero events is correct.
+	empty := graph.New(2)
+	empty.RemoveNode(0)
+	empty.RemoveNode(1)
+	rng := rand.New(rand.NewSource(1))
+	if s := RandomSchedule(empty, 40, 0.25, 0.5, rng); len(s) != 0 {
+		t.Fatalf("empty graph schedule = %v", s)
+	}
+}
+
 func TestRandomScheduleZeroRate(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	g := graph.Path(5)
 	if s := RandomSchedule(g, 50, 0, 0.5, rng); len(s) != 0 {
 		t.Fatalf("schedule = %v", s)
+	}
+}
+
+// TestInjectorDuplicateAndDeadTargets: duplicate kills and kills of
+// already-dead targets are processed (Remaining drops) but never counted
+// as applied.
+func TestInjectorDuplicateAndDeadTargets(t *testing.T) {
+	g := graph.Path(4)
+	g.RemoveNode(3) // dead before the schedule starts
+	in := NewInjector(Schedule{
+		NodeAt(1, 1),
+		NodeAt(1, 1),    // duplicate in the same step
+		NodeAt(2, 1),    // duplicate in a later step
+		NodeAt(2, 3),    // already dead at construction
+		EdgeAt(3, 0, 1), // edge died with node 1
+	})
+	if in.Remaining() != 5 {
+		t.Fatalf("remaining = %d", in.Remaining())
+	}
+	fired := in.Advance(g, 1)
+	if len(fired) != 1 || fired[0].Node != 1 {
+		t.Fatalf("step 1 fired = %v", fired)
+	}
+	if fired := in.Advance(g, 3); len(fired) != 0 {
+		t.Fatalf("steps 2-3 fired = %v", fired)
+	}
+	if got := in.Applied(); len(got) != 1 {
+		t.Fatalf("applied = %v", got)
+	}
+	if in.Remaining() != 0 {
+		t.Fatalf("remaining = %d", in.Remaining())
+	}
+}
+
+// TestInjectorStepZeroAndPastHorizon: an event at step 0 fires on the
+// first Advance; an event past the caller's horizon never fires but stays
+// counted in Remaining.
+func TestInjectorStepZeroAndPastHorizon(t *testing.T) {
+	g := graph.Path(5)
+	in := NewInjector(Schedule{NodeAt(0, 0), NodeAt(1000, 1)})
+	fired := in.Advance(g, 0)
+	if len(fired) != 1 || fired[0].Node != 0 {
+		t.Fatalf("step 0 fired = %v", fired)
+	}
+	for step := 1; step <= 100; step++ {
+		if fired := in.Advance(g, step); len(fired) != 0 {
+			t.Fatalf("step %d fired = %v", step, fired)
+		}
+	}
+	if in.Remaining() != 1 {
+		t.Fatalf("remaining = %d", in.Remaining())
+	}
+	if !g.Alive(1) {
+		t.Fatal("past-horizon event fired")
+	}
+}
+
+// TestInjectorNonMonotoneAdvance: moving the step backwards must not
+// re-fire or un-fire anything — Advance is monotone in what it has
+// processed, keyed on the schedule index, not the step argument.
+func TestInjectorNonMonotoneAdvance(t *testing.T) {
+	g := graph.Path(5)
+	in := NewInjector(Schedule{NodeAt(2, 0), NodeAt(4, 1), NodeAt(6, 2)})
+	if fired := in.Advance(g, 4); len(fired) != 2 {
+		t.Fatalf("advance(4) fired %v", in.Applied())
+	}
+	// Step goes backwards: nothing new fires, nothing repeats.
+	if fired := in.Advance(g, 1); len(fired) != 0 {
+		t.Fatalf("advance(1) after advance(4) fired %v", fired)
+	}
+	if in.Remaining() != 1 {
+		t.Fatalf("remaining = %d", in.Remaining())
+	}
+	if fired := in.Advance(g, 6); len(fired) != 1 || fired[0].Node != 2 {
+		t.Fatalf("advance(6) fired %v", fired)
+	}
+	if len(in.Applied()) != 3 || in.Remaining() != 0 {
+		t.Fatalf("applied=%v remaining=%d", in.Applied(), in.Remaining())
+	}
+}
+
+func TestApplyNow(t *testing.T) {
+	g := graph.Path(4)
+	fired := ApplyNow(g, []Event{
+		NodeAt(7, 1),    // AtStep is ignored
+		NodeAt(9, 1),    // duplicate: skipped
+		EdgeAt(0, 0, 1), // died with node 1: skipped
+		EdgeAt(0, 2, 3),
+	})
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if g.Alive(1) || g.HasEdge(2, 3) {
+		t.Fatal("events not applied")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
 	}
 }
 

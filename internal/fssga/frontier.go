@@ -25,6 +25,11 @@ package fssga
 // Deterministic automata only: a Step that consults its random stream
 // desynchronizes the per-node streams when quiesced nodes are skipped.
 func (net *Network[S]) SyncRoundFrontier() (changed bool) {
+	// The pre-round hook fires before the staleness check below, so any
+	// topology shrink it performs is caught by the node/edge-count
+	// comparison and forces a full re-step. On a quiescent round (no
+	// commit) the hook fires again with the same round number next call.
+	net.beforeRound()
 	n := net.G.Cap()
 	if net.front == nil {
 		net.front = make([]bool, n)

@@ -45,6 +45,15 @@ type Network[S comparable] struct {
 	// OnRound, if non-nil, is invoked after every completed synchronous
 	// round with the round number (1-based).
 	OnRound func(round int)
+
+	// OnBeforeRound, if non-nil, is invoked at the start of every
+	// synchronous round — before the snapshot σ is read — with the
+	// upcoming round number (Rounds+1). Mutating the topology inside the
+	// hook has exactly the semantics of calling faults.Injector.Advance
+	// just before the round: the killed nodes are frozen and the
+	// survivors' views for this round already exclude them. Fault
+	// adversaries (internal/chaos) deliver kills through this hook.
+	OnBeforeRound func(round int)
 }
 
 // New creates a network over g running auto, with node v initialized to
@@ -124,6 +133,7 @@ func (net *Network[S]) Activate(v int) {
 // successor state from the same snapshot σ, then all states switch
 // simultaneously (Section 3.4's synchronous model).
 func (net *Network[S]) SyncRound() {
+	net.beforeRound()
 	sc := net.serialScratch()
 	for v := 0; v < net.G.Cap(); v++ {
 		if !net.G.Alive(v) || net.G.Degree(v) == 0 {
@@ -134,6 +144,16 @@ func (net *Network[S]) SyncRound() {
 		net.next[v] = net.auto.Step(net.states[v], view, net.rngs[v])
 	}
 	net.commitRound()
+}
+
+// beforeRound fires the pre-round hook with the upcoming round number.
+// Every synchronous-round entry point calls it exactly once, before the
+// state snapshot is read, so hook-driven topology mutations behave like
+// pre-round fault injection.
+func (net *Network[S]) beforeRound() {
+	if net.OnBeforeRound != nil {
+		net.OnBeforeRound(net.Rounds + 1)
+	}
 }
 
 // commitRound publishes next as the new state vector and fires the round
@@ -160,9 +180,10 @@ func (net *Network[S]) SyncRoundParallel(workers int) {
 	}
 	n := net.G.Cap()
 	if workers == 1 || n < 2 {
-		net.SyncRound()
+		net.SyncRound() // fires the pre-round hook itself
 		return
 	}
+	net.beforeRound()
 	net.ensureWorkers(workers)
 	snapshot := net.states
 	var wg sync.WaitGroup

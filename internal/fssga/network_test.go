@@ -319,6 +319,79 @@ func TestOnRoundHook(t *testing.T) {
 	}
 }
 
+func TestOnBeforeRoundHook(t *testing.T) {
+	g := graph.Path(3)
+	net := newMaxNet(g, 1)
+	var pre, post []int
+	net.OnBeforeRound = func(r int) { pre = append(pre, r) }
+	net.OnRound = func(r int) { post = append(post, r) }
+	net.SyncRound()
+	net.SyncRoundParallel(2)
+	net.SyncRoundParallel(1) // delegates to SyncRound; hook must fire once
+	if len(pre) != 3 || pre[0] != 1 || pre[1] != 2 || pre[2] != 3 {
+		t.Fatalf("pre-round hooks = %v", pre)
+	}
+	if len(post) != 3 {
+		t.Fatalf("post-round hooks = %v", post)
+	}
+}
+
+// TestOnBeforeRoundKillMatchesInjectorSemantics: killing a node inside the
+// pre-round hook must be indistinguishable from removing it just before
+// calling SyncRound — the survivors' views for that round already exclude
+// the victim.
+func TestOnBeforeRoundKillMatchesInjectorSemantics(t *testing.T) {
+	ref := graph.Path(4)
+	refNet := newMaxNet(ref, 1)
+	refNet.SyncRound()
+	ref.RemoveNode(3) // node carrying the max dies before round 2
+	refNet.SyncRound()
+
+	g := graph.Path(4)
+	net := newMaxNet(g, 1)
+	net.OnBeforeRound = func(r int) {
+		if r == 2 {
+			g.RemoveNode(3)
+		}
+	}
+	net.SyncRound()
+	net.SyncRound()
+	for v := 0; v < 3; v++ {
+		if net.State(v) != refNet.State(v) {
+			t.Fatalf("node %d: hook kill gave %d, injector-style kill gave %d",
+				v, net.State(v), refNet.State(v))
+		}
+	}
+}
+
+// TestOnBeforeRoundFrontier: the frontier fast path must fire the hook and
+// honour kills performed inside it (stale-frontier invalidation).
+func TestOnBeforeRoundFrontier(t *testing.T) {
+	g := graph.Path(5)
+	net := newMaxNet(g, 1)
+	var pre []int
+	net.OnBeforeRound = func(r int) {
+		pre = append(pre, r)
+		if r == 1 {
+			g.RemoveNode(4)
+		}
+	}
+	rounds, finished := net.RunSyncUntilQuiescent(50)
+	if !finished {
+		t.Fatal("never quiesced")
+	}
+	if len(pre) == 0 || pre[0] != 1 {
+		t.Fatalf("pre-round hooks = %v", pre)
+	}
+	// With node 4 (the max carrier) dead before the first round, the
+	// surviving path must converge to max = 3 everywhere.
+	for v := 0; v < 4; v++ {
+		if net.State(v) != 3 {
+			t.Fatalf("node %d = %d after %d rounds, want 3", v, net.State(v), rounds)
+		}
+	}
+}
+
 func TestPerNodeStreamsIndependentOfSeedDetails(t *testing.T) {
 	// Different master seeds must give different random behaviour.
 	g := graph.Complete(8)

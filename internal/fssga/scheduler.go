@@ -15,13 +15,31 @@ type Scheduler interface {
 
 // RoundRobin activates live nodes cyclically in ID order. It is the
 // simplest fair schedule: every node activates once per n activations.
-type RoundRobin struct{ cursor int }
+type RoundRobin struct {
+	last    int
+	started bool
+}
 
-// Pick implements Scheduler.
+// Pick implements Scheduler. It tracks the last-activated node ID and
+// advances to the next live ID (wrapping), so mid-cycle deaths never skip
+// or double-activate a survivor. (Indexing `cursor % len(alive)` — the
+// previous implementation — broke down when deaths shifted both the length
+// and the ordering of the alive slice under the cursor.)
 func (s *RoundRobin) Pick(alive []int, rng *rand.Rand) int {
-	v := alive[s.cursor%len(alive)]
-	s.cursor++
-	return v
+	if len(alive) == 0 {
+		panic("fssga: RoundRobin.Pick with no live nodes")
+	}
+	if !s.started {
+		s.started = true
+		s.last = alive[0]
+		return s.last
+	}
+	i := sort.SearchInts(alive, s.last+1)
+	if i == len(alive) {
+		i = 0
+	}
+	s.last = alive[i]
+	return s.last
 }
 
 // UniformRandom activates a uniformly random live node each step. It is

@@ -59,6 +59,86 @@ func TestFairShuffleNeverPicksDead(t *testing.T) {
 	}
 }
 
+// TestRoundRobinCyclesInOrder: on a static live set, RoundRobin visits the
+// IDs cyclically in increasing order.
+func TestRoundRobinCyclesInOrder(t *testing.T) {
+	sched := &RoundRobin{}
+	rng := rand.New(rand.NewSource(1))
+	alive := []int{2, 5, 9}
+	want := []int{2, 5, 9, 2, 5, 9, 2}
+	for i, w := range want {
+		if v := sched.Pick(alive, rng); v != w {
+			t.Fatalf("pick %d = %d, want %d", i, v, w)
+		}
+	}
+}
+
+// TestRoundRobinMidCycleDeath: when a node dies mid-cycle, every survivor
+// must still activate exactly once per cycle — no skips, no
+// double-activations. The old cursor%len(alive) indexing failed this: the
+// shrinking slice shifted under the cursor.
+func TestRoundRobinMidCycleDeath(t *testing.T) {
+	sched := &RoundRobin{}
+	rng := rand.New(rand.NewSource(1))
+	alive := []int{0, 1, 2, 3, 4, 5}
+	if v := sched.Pick(alive, rng); v != 0 {
+		t.Fatalf("first pick = %d", v)
+	}
+	if v := sched.Pick(alive, rng); v != 1 {
+		t.Fatalf("second pick = %d", v)
+	}
+	// Node 3 (not yet activated) dies. The survivors 2, 4, 5 must each
+	// activate exactly once before the cycle restarts at 0.
+	survivors := []int{0, 1, 2, 4, 5}
+	for _, want := range []int{2, 4, 5, 0, 1, 2} {
+		if v := sched.Pick(survivors, rng); v != want {
+			t.Fatalf("after death: pick = %d, want %d", v, want)
+		}
+	}
+}
+
+// TestRoundRobinDeathOfLastActivated: the cycle continues from the dead
+// node's successor ID.
+func TestRoundRobinDeathOfLastActivated(t *testing.T) {
+	sched := &RoundRobin{}
+	rng := rand.New(rand.NewSource(1))
+	alive := []int{0, 1, 2, 3}
+	sched.Pick(alive, rng) // 0
+	sched.Pick(alive, rng) // 1
+	survivors := []int{0, 2, 3}
+	for _, want := range []int{2, 3, 0, 2} {
+		if v := sched.Pick(survivors, rng); v != want {
+			t.Fatalf("pick = %d, want %d", v, want)
+		}
+	}
+}
+
+func TestRoundRobinPanicsOnEmptyAlive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&RoundRobin{}).Pick(nil, rand.New(rand.NewSource(1)))
+}
+
+// TestFairShuffleAllRemainingPermDead: when every not-yet-activated entry
+// of the current permutation is dead, Pick must redraw a fresh permutation
+// from the live set and return — not spin.
+func TestFairShuffleAllRemainingPermDead(t *testing.T) {
+	sched := &FairShuffle{}
+	rng := rand.New(rand.NewSource(3))
+	alive := []int{0, 1, 2, 3}
+	first := sched.Pick(alive, rng) // draws the unit's permutation
+	// Everyone except the already-activated node dies.
+	survivors := []int{first}
+	for i := 0; i < 5; i++ {
+		if v := sched.Pick(survivors, rng); v != first {
+			t.Fatalf("pick = %d, want sole survivor %d", v, first)
+		}
+	}
+}
+
 func TestFairShufflePanicsOnEmptyAlive(t *testing.T) {
 	defer func() {
 		if recover() == nil {

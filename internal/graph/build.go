@@ -1,0 +1,70 @@
+package graph
+
+// This file provides the shared by-name topology builder used by the CLIs
+// (fssga-run, fssga-chaos) and by chaos replay artifacts, which must be
+// able to reconstruct a run's topology from a (generator, n, seed) triple.
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GeneratorNames lists the topology names Build accepts.
+var GeneratorNames = []string{
+	"path", "cycle", "oddcycle", "grid", "torus", "complete", "star",
+	"tree", "gnp", "hypercube", "barbell", "theta",
+}
+
+// Build constructs the named topology with approximately n nodes,
+// deterministically in (name, n, seed). The graph is returned unsealed so
+// callers may add application edges before Seal.
+func Build(name string, n int, seed int64) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("graph: Build needs n >= 1, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch name {
+	case "path":
+		return Path(n), nil
+	case "cycle":
+		return Cycle(n), nil
+	case "oddcycle":
+		return Cycle(2*(n/2) + 1), nil
+	case "grid":
+		s := 1
+		for (s+1)*(s+1) <= n {
+			s++
+		}
+		return Grid(s, s), nil
+	case "torus":
+		s := 3
+		for (s+1)*(s+1) <= n {
+			s++
+		}
+		return Torus(s, s), nil
+	case "complete":
+		return Complete(n), nil
+	case "star":
+		return Star(n), nil
+	case "tree":
+		return RandomTree(n, rng), nil
+	case "gnp":
+		return RandomConnectedGNP(n, 4.0/float64(n), rng), nil
+	case "hypercube":
+		d := 1
+		for 1<<uint(d+1) <= n {
+			d++
+		}
+		return Hypercube(d), nil
+	case "barbell":
+		return Barbell(n/2, 1), nil
+	case "theta":
+		k := n / 3
+		if k < 1 {
+			k = 1
+		}
+		return Theta(k, k, k), nil
+	default:
+		return nil, fmt.Errorf("graph: unknown generator %q", name)
+	}
+}

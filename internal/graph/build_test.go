@@ -1,0 +1,48 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestBuildAllGenerators(t *testing.T) {
+	for _, name := range GeneratorNames {
+		g, err := Build(name, 16, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.NumNodes() < 1 {
+			t.Fatalf("%s: empty graph", name)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestBuildDeterministic: identical (name, n, seed) triples must yield
+// identical topologies — replay artifacts depend on it.
+func TestBuildDeterministic(t *testing.T) {
+	for _, name := range GeneratorNames {
+		a, err := Build(name, 24, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Build(name, 24, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(a.Edges()) != fmt.Sprint(b.Edges()) {
+			t.Fatalf("%s: edge sets differ between identical builds", name)
+		}
+	}
+}
+
+func TestBuildRejectsBadInput(t *testing.T) {
+	if _, err := Build("nope", 8, 1); err == nil {
+		t.Fatal("unknown generator accepted")
+	}
+	if _, err := Build("path", 0, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}

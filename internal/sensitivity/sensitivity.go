@@ -44,10 +44,12 @@ type Probe struct {
 	Run         func(g *graph.Graph, sched faults.Schedule, seed int64) Report
 }
 
-// criticalForChi reports whether the events would be critical for the
+// CriticalForChi reports whether the events would be critical for the
 // given χ set on graph g (checked just before applying them): a χ node
-// dies, or applying the events separates two χ nodes.
-func criticalForChi(g *graph.Graph, chi []int, events []faults.Event) bool {
+// dies, or applying the events separates two χ nodes. It is exported for
+// the chaos harness (internal/chaos), which labels every adversary
+// delivery as critical or benign in the run log.
+func CriticalForChi(g *graph.Graph, chi []int, events []faults.Event) bool {
 	if len(chi) == 0 {
 		return false
 	}
@@ -207,7 +209,7 @@ func GreedyTouristProbe() Probe {
 			rep := Report{MaxChi: 1}
 			for m := 0; m < 50*n0; m++ {
 				if events := in.Advance(g, m); len(events) > 0 {
-					if criticalForChi(g, []int{tr.Pos}, nil) || !g.Alive(tr.Pos) {
+					if CriticalForChi(g, []int{tr.Pos}, nil) || !g.Alive(tr.Pos) {
 						rep.Critical = true
 					}
 					for _, e := range events {
@@ -262,7 +264,7 @@ func MilgramProbe() Probe {
 				}
 				if in.Remaining() > 0 {
 					events := in.Advance(g, r)
-					if len(events) > 0 && criticalForChi(g, chi, events) {
+					if len(events) > 0 && CriticalForChi(g, chi, events) {
 						rep.Critical = true
 					}
 				}
@@ -316,7 +318,7 @@ func BetaProbe(pulses int) Probe {
 			done := 0
 			for r := 1; r <= pulses; r++ {
 				events := in.Advance(g, r)
-				if len(events) > 0 && criticalForChi(g, chi, events) {
+				if len(events) > 0 && CriticalForChi(g, chi, events) {
 					rep.Critical = true
 				}
 				if b.Pulse() != nil {

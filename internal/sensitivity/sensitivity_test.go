@@ -10,23 +10,23 @@ import (
 func TestCriticalForChi(t *testing.T) {
 	g := graph.Path(5)
 	// Killing a χ node is critical.
-	if !criticalForChi(g, []int{2}, []faults.Event{faults.NodeAt(1, 2)}) {
+	if !CriticalForChi(g, []int{2}, []faults.Event{faults.NodeAt(1, 2)}) {
 		t.Fatal("χ-node kill not critical")
 	}
 	// Killing a non-χ node that does not separate χ is not critical.
-	if criticalForChi(g, []int{0, 1}, []faults.Event{faults.NodeAt(1, 4)}) {
+	if CriticalForChi(g, []int{0, 1}, []faults.Event{faults.NodeAt(1, 4)}) {
 		t.Fatal("harmless kill flagged critical")
 	}
 	// Separating two χ nodes is critical.
-	if !criticalForChi(g, []int{0, 4}, []faults.Event{faults.EdgeAt(1, 2, 3)}) {
+	if !CriticalForChi(g, []int{0, 4}, []faults.Event{faults.EdgeAt(1, 2, 3)}) {
 		t.Fatal("χ separation not critical")
 	}
 	// Empty χ: nothing is critical.
-	if criticalForChi(g, nil, []faults.Event{faults.NodeAt(1, 2)}) {
+	if CriticalForChi(g, nil, []faults.Event{faults.NodeAt(1, 2)}) {
 		t.Fatal("empty χ flagged critical")
 	}
 	// Single χ node, edge fault elsewhere: not critical.
-	if criticalForChi(g, []int{0}, []faults.Event{faults.EdgeAt(1, 3, 4)}) {
+	if CriticalForChi(g, []int{0}, []faults.Event{faults.EdgeAt(1, 3, 4)}) {
 		t.Fatal("single-χ edge fault flagged critical")
 	}
 }

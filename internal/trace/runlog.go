@@ -1,0 +1,109 @@
+package trace
+
+// RunLog is the JSON decision-trace artifact of one chaos run
+// (internal/chaos): everything needed to re-execute the run
+// bit-identically — the topology recipe, the master seed, the worker
+// count, the fault events with the rounds they were delivered at, and any
+// asynchronous scheduler picks — plus the observed outcome (violation,
+// per-round state digests) that a replay is verified against.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/faults"
+)
+
+// GraphSpec is the recipe for rebuilding a run's topology: a generator
+// name accepted by graph.Build, the size argument, and the build seed.
+type GraphSpec struct {
+	Gen  string `json:"gen"`
+	N    int    `json:"n"`
+	Seed int64  `json:"seed"`
+}
+
+// EventRec is the JSON form of one applied fault event.
+type EventRec struct {
+	Step int    `json:"step"`
+	Kind string `json:"kind"` // "node" or "edge"
+	Node int    `json:"node,omitempty"`
+	U    int    `json:"u,omitempty"`
+	V    int    `json:"v,omitempty"`
+}
+
+// RunLog is the full decision trace of one chaos run.
+type RunLog struct {
+	Target       string     `json:"target"`
+	Adversary    string     `json:"adversary"`
+	Graph        GraphSpec  `json:"graph"`
+	Seed         int64      `json:"seed"`
+	Workers      int        `json:"workers,omitempty"`
+	MaxRounds    int        `json:"max_rounds"`
+	AttackRounds int        `json:"attack_rounds"`
+	Events       []EventRec `json:"events"`
+	Picks        []int      `json:"picks,omitempty"` // async scheduler picks
+	Rounds       int        `json:"rounds"`
+	Violation    string     `json:"violation,omitempty"`
+	Round        int        `json:"round,omitempty"` // violating round
+	Critical     bool       `json:"critical,omitempty"`
+	Digests      []uint64   `json:"digests,omitempty"` // one per committed round
+	Shrunk       bool       `json:"shrunk,omitempty"`  // Events minimized by the shrinker
+}
+
+// EventsToRecs converts engine fault events to their JSON record form.
+func EventsToRecs(events []faults.Event) []EventRec {
+	recs := make([]EventRec, 0, len(events))
+	for _, e := range events {
+		r := EventRec{Step: e.AtStep}
+		if e.Kind == faults.KillNode {
+			r.Kind = "node"
+			r.Node = e.Node
+		} else {
+			r.Kind = "edge"
+			r.U = e.Edge.U
+			r.V = e.Edge.V
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+// RecsToEvents converts JSON event records back to engine fault events.
+// Unknown kinds are an error so a corrupted artifact fails loudly.
+func RecsToEvents(recs []EventRec) ([]faults.Event, error) {
+	events := make([]faults.Event, 0, len(recs))
+	for i, r := range recs {
+		switch r.Kind {
+		case "node":
+			events = append(events, faults.NodeAt(r.Step, r.Node))
+		case "edge":
+			events = append(events, faults.EdgeAt(r.Step, r.U, r.V))
+		default:
+			return nil, fmt.Errorf("trace: event %d has unknown kind %q", i, r.Kind)
+		}
+	}
+	return events, nil
+}
+
+// Save writes the log as indented JSON to path.
+func (l *RunLog) Save(path string) error {
+	data, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		return fmt.Errorf("trace: marshal run log: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadRunLog reads a run log saved by Save.
+func LoadRunLog(path string) (*RunLog, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var l RunLog
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("trace: parse run log %s: %w", path, err)
+	}
+	return &l, nil
+}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+func TestEventRecRoundTrip(t *testing.T) {
+	events := []faults.Event{
+		faults.NodeAt(3, 7),
+		faults.EdgeAt(5, 9, 2),
+		faults.NodeAt(0, 0),
+	}
+	back, err := RecsToEvents(EventsToRecs(events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(events, back) {
+		t.Fatalf("round trip: %v -> %v", events, back)
+	}
+}
+
+func TestRecsToEventsRejectsUnknownKind(t *testing.T) {
+	if _, err := RecsToEvents([]EventRec{{Step: 1, Kind: "bogus"}}); err == nil {
+		t.Fatal("corrupted kind accepted")
+	}
+}
+
+func TestRunLogSaveLoad(t *testing.T) {
+	l := &RunLog{
+		Target:       "census",
+		Adversary:    "chi",
+		Graph:        GraphSpec{Gen: "gnp", N: 24, Seed: 7},
+		Seed:         42,
+		Workers:      4,
+		MaxRounds:    120,
+		AttackRounds: 48,
+		Events:       EventsToRecs([]faults.Event{faults.NodeAt(2, 5), faults.EdgeAt(4, 1, 3)}),
+		Picks:        []int{0, 2, 1},
+		Rounds:       60,
+		Violation:    "component disagreement",
+		Round:        31,
+		Critical:     true,
+		Digests:      []uint64{1, 2, 3},
+		Shrunk:       true,
+	}
+	path := filepath.Join(t.TempDir(), "artifact.json")
+	if err := l.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRunLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(l, got) {
+		t.Fatalf("save/load mismatch:\nsaved  %+v\nloaded %+v", l, got)
+	}
+}
+
+func TestLoadRunLogMissingFile(t *testing.T) {
+	if _, err := LoadRunLog(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

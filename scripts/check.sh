@@ -26,4 +26,10 @@ go test ./...
 echo "== go test -race ./internal/fssga/... ./internal/algo/..."
 go test -race ./internal/fssga/... ./internal/algo/...
 
+echo "== go test -race ./internal/chaos/... ./internal/faults/..."
+go test -race ./internal/chaos/... ./internal/faults/...
+
+echo "== chaos smoke campaign"
+go run ./cmd/fssga-chaos -smoke -out "$(mktemp -d)"
+
 echo "OK"
