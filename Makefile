@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test race chaos-race chaos-smoke bench perf
+.PHONY: check build test cover race chaos-race chaos-smoke mc-smoke bench perf
 
 # Tier-1 verify path (ROADMAP.md): gofmt + build + vet + tests + race.
 check:
@@ -11,6 +11,11 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Full test suite with statement coverage, checked against the
+# per-package floors in scripts/coverage_ratchet.txt.
+cover:
+	./scripts/coverage.sh
 
 # Race detector over the engine and algorithm layers — the packages with
 # goroutine-parallel rounds and per-worker scratch.
@@ -27,6 +32,12 @@ chaos-race:
 # in seconds, inside the tier-1 time budget.
 chaos-smoke:
 	$(GO) run ./cmd/fssga-chaos -smoke -out $(shell mktemp -d)
+
+# The CI model-checking gate: exhaustive Theorem 3.7 sweep at the smoke
+# bound plus interleaving exploration of the deterministic algorithm /
+# topology pairs. Seconds, inside the tier-1 time budget.
+mc-smoke:
+	$(GO) run ./cmd/fssga-mc -smoke -out $(shell mktemp -d)
 
 bench:
 	$(GO) test -bench . -benchmem -run xxx .

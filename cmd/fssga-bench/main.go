@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -21,50 +22,59 @@ import (
 )
 
 func main() {
-	expID := flag.String("exp", "", "experiment ID to run (E1..E13); empty = all")
-	seed := flag.Int64("seed", 1, "master random seed")
-	quick := flag.Bool("quick", false, "reduced sweeps and trial counts")
-	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown tables")
-	list := flag.Bool("list", false, "list experiment IDs and exit")
-	perf := flag.Bool("perf", false, "run the engine perf suite instead of the experiment tables")
-	out := flag.String("out", "BENCH_engine.json", "output path for the -perf JSON report")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, w io.Writer) int {
+	fs := flag.NewFlagSet("fssga-bench", flag.ContinueOnError)
+	fs.SetOutput(w)
+	expID := fs.String("exp", "", "experiment ID to run (E1..E13); empty = all")
+	seed := fs.Int64("seed", 1, "master random seed")
+	quick := fs.Bool("quick", false, "reduced sweeps and trial counts")
+	markdown := fs.Bool("markdown", false, "emit GitHub-flavoured markdown tables")
+	list := fs.Bool("list", false, "list experiment IDs and exit")
+	perf := fs.Bool("perf", false, "run the engine perf suite instead of the experiment tables")
+	out := fs.String("out", "BENCH_engine.json", "output path for the -perf JSON report")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *perf {
 		if err := runPerf(*seed, *out); err != nil {
-			fmt.Fprintf(os.Stderr, "fssga-bench: perf suite failed: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(w, "fssga-bench: perf suite failed: %v\n", err)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *list {
 		for _, id := range exp.IDs() {
-			fmt.Println(id)
+			fmt.Fprintln(w, id)
 		}
-		return
+		return 0
 	}
 
 	opts := exp.Options{Seed: *seed, Quick: *quick}
 	print := func(t *exp.Table) {
 		if *markdown {
-			t.PrintMarkdown(os.Stdout)
+			t.PrintMarkdown(w)
 		} else {
-			t.Print(os.Stdout)
+			t.Print(w)
 		}
 	}
 	if *expID == "" {
 		for _, id := range exp.IDs() {
 			print(exp.Registry[id](opts))
 		}
-		return
+		return 0
 	}
 	id := strings.ToUpper(strings.TrimSpace(*expID))
 	runner, ok := exp.Registry[id]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "fssga-bench: unknown experiment %q (known: %s)\n",
+		fmt.Fprintf(w, "fssga-bench: unknown experiment %q (known: %s)\n",
 			*expID, strings.Join(exp.IDs(), " "))
-		os.Exit(2)
+		return 2
 	}
 	print(runner(opts))
+	return 0
 }

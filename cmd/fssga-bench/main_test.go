@@ -1,0 +1,52 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+// TestQuickRunAllExperiments is the bench smoke test: `fssga-bench
+// -quick` must exit 0 and emit every registered experiment's table
+// header, so a broken or silently-skipped experiment fails CI rather
+// than vanishing from EXPERIMENTS.md.
+func TestQuickRunAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench quick sweep skipped in -short mode")
+	}
+	var buf strings.Builder
+	if code := run([]string{"-quick"}, &buf); code != 0 {
+		t.Fatalf("fssga-bench -quick exited %d", code)
+	}
+	out := buf.String()
+	ids := exp.IDs()
+	if len(ids) < 13 {
+		t.Fatalf("registry lists %d experiments, want at least 13", len(ids))
+	}
+	for _, id := range ids {
+		header := fmt.Sprintf("== %s:", id)
+		if !strings.Contains(out, header) {
+			t.Errorf("output missing experiment header %q", header)
+		}
+	}
+}
+
+// TestListAndUnknownExperiment covers the cheap CLI paths: -list prints
+// every ID, and an unknown -exp is a usage error (exit 2).
+func TestListAndUnknownExperiment(t *testing.T) {
+	var buf strings.Builder
+	if code := run([]string{"-list"}, &buf); code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, id := range exp.IDs() {
+		if !strings.Contains(buf.String(), id) {
+			t.Errorf("-list missing %s", id)
+		}
+	}
+	buf.Reset()
+	if code := run([]string{"-exp", "E99"}, &buf); code != 2 {
+		t.Fatalf("unknown experiment exited %d, want 2", code)
+	}
+}

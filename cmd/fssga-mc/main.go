@@ -1,0 +1,145 @@
+// Command fssga-mc runs the bounded model checker (internal/mc): an
+// exhaustive Theorem 3.7 verification over every canonical program within
+// a size bound, and an exhaustive exploration of every asynchronous
+// activation order of the paper's algorithms on small topologies.
+//
+// Usage:
+//
+//	fssga-mc                          # full sweep: theorem + all pairs
+//	fssga-mc -smoke                   # CI preset: smaller bounds, no randomized pairs
+//	fssga-mc -pairs=twocolor/cycle5   # explore selected pairs only
+//	fssga-mc -theorem=false           # skip the Theorem 3.7 sweep
+//	fssga-mc -replay=artifact.json    # verify a recorded counterexample artifact
+//
+// Any counterexample writes a replayable trace.RunLog artifact into -out
+// and makes the process exit 1 (2 for setup/usage errors).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/mc"
+	"repro/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, w io.Writer) int {
+	fs := flag.NewFlagSet("fssga-mc", flag.ContinueOnError)
+	fs.SetOutput(w)
+	smoke := fs.Bool("smoke", false, "run the CI smoke preset (smaller theorem bounds, deterministic pairs only)")
+	theorem := fs.Bool("theorem", true, "run the Theorem 3.7 equivalence sweep")
+	interleave := fs.Bool("interleave", true, "run the interleaving exploration")
+	pairsFlag := fs.String("pairs", "", "comma-separated pair names to explore (default: all)")
+	out := fs.String("out", ".", "directory for counterexample artifacts")
+	replayPath := fs.String("replay", "", "verify a recorded artifact instead of running the checker")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *replayPath != "" {
+		return replayMain(w, *replayPath)
+	}
+
+	exit := 0
+	if *theorem {
+		cfg := mc.DefaultTheoremConfig()
+		mode := "full"
+		if *smoke {
+			cfg = mc.SmokeTheoremConfig()
+			mode = "smoke"
+		}
+		rep := mc.CheckTheorem37(cfg)
+		fmt.Fprintf(w, "theorem 3.7 (%s): %d programs verified (%d canonical sequential, %d symmetric; %d mod-thresh; %d conversions)\n",
+			mode, rep.Programs(), rep.SeqPrograms, rep.SeqSymmetric, rep.MTPrograms, rep.Conversions)
+		if !rep.Ok() {
+			exit = 1
+			fmt.Fprintf(w, "FAIL: %d theorem violations\n", rep.FailureCount)
+			for _, f := range rep.Failures {
+				fmt.Fprintf(w, "  %s\n", f)
+			}
+		}
+	}
+
+	if *interleave {
+		pairs, err := selectPairs(*pairsFlag, *smoke)
+		if err != nil {
+			fmt.Fprintf(w, "fssga-mc: %v\n", err)
+			return 2
+		}
+		for _, p := range pairs {
+			rep := p.Explore()
+			status := "ok"
+			if rep.Bounded {
+				status = "ok (bounded)"
+			}
+			if !rep.Ok() {
+				status = "FAIL"
+				exit = 1
+			}
+			fmt.Fprintf(w, "explore %-18s %-12s states=%-6d transitions=%-6d slept=%-5d fixpoints=%d\n",
+				p.Name, status, rep.States, rep.Transitions, rep.Slept, rep.Fixpoints)
+			if rep.Counterexample != nil {
+				fmt.Fprintf(w, "  counterexample: %s\n", rep.Counterexample)
+				path := filepath.Join(*out, "mc-"+strings.ReplaceAll(p.Name, "/", "-")+".json")
+				if err := rep.Counterexample.RunLog(p.Spec, p.Seed).Save(path); err != nil {
+					fmt.Fprintf(w, "  saving artifact: %v\n", err)
+				} else {
+					fmt.Fprintf(w, "  artifact: %s (verify with -replay=%s)\n", path, path)
+				}
+			}
+		}
+	}
+
+	if exit == 0 {
+		fmt.Fprintln(w, "fssga-mc: all checks passed")
+	}
+	return exit
+}
+
+// selectPairs resolves the -pairs flag against the registry; the smoke
+// preset drops randomized (budget-bounded) pairs to stay inside CI time.
+func selectPairs(list string, smoke bool) ([]mc.Pair, error) {
+	if list != "" {
+		var pairs []mc.Pair
+		for _, name := range strings.Split(list, ",") {
+			p, err := mc.LookupPair(strings.TrimSpace(name))
+			if err != nil {
+				return nil, err
+			}
+			pairs = append(pairs, p)
+		}
+		return pairs, nil
+	}
+	var pairs []mc.Pair
+	for _, p := range mc.Pairs() {
+		if smoke && p.Randomized {
+			continue
+		}
+		pairs = append(pairs, p)
+	}
+	return pairs, nil
+}
+
+// replayMain verifies a recorded counterexample artifact.
+func replayMain(w io.Writer, path string) int {
+	log, err := trace.LoadRunLog(path)
+	if err != nil {
+		fmt.Fprintf(w, "fssga-mc: %v\n", err)
+		return 2
+	}
+	if err := mc.VerifyReplay(log); err != nil {
+		fmt.Fprintf(w, "fssga-mc: replay FAILED: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(w, "fssga-mc: %s replays bit-identically (%d activations, violation %q)\n",
+		path, len(log.Picks), log.Violation)
+	return 0
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/mc"
+	"repro/internal/trace"
+)
+
+// TestSmokePreset runs the CI preset end to end and checks the report
+// lines and exit code.
+func TestSmokePreset(t *testing.T) {
+	var buf strings.Builder
+	if code := run([]string{"-smoke", "-out", t.TempDir()}, &buf); code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"theorem 3.7 (smoke):",
+		"explore twocolor/path6",
+		"explore twocolor/cycle5",
+		"explore census/cycle4",
+		"explore shortestpath/path5",
+		"explore bfs/path5",
+		"all checks passed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "election") {
+		t.Errorf("smoke preset ran a randomized pair:\n%s", out)
+	}
+}
+
+// TestPairSelection runs a single named pair and rejects unknown names.
+func TestPairSelection(t *testing.T) {
+	var buf strings.Builder
+	if code := run([]string{"-theorem=false", "-pairs=twocolor/cycle5"}, &buf); code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "explore twocolor/cycle5") {
+		t.Errorf("missing pair line:\n%s", buf.String())
+	}
+	buf.Reset()
+	if code := run([]string{"-theorem=false", "-pairs=nope"}, &buf); code != 2 {
+		t.Fatalf("unknown pair: exit %d, want 2", code)
+	}
+}
+
+// TestReplayRoundTrip saves a synthetic artifact and verifies the -replay
+// path accepts it and rejects a tampered copy.
+func TestReplayRoundTrip(t *testing.T) {
+	p, err := mc.LookupPair("shortestpath/path5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	picks := []int{4, 1, 2, 3, 4, 1}
+	ce := &mc.Counterexample{Pair: p.Name, Picks: picks, Digests: p.ReplayPure(picks), Violation: "synthetic"}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ce.json")
+	if err := ce.RunLog(p.Spec, p.Seed).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if code := run([]string{"-replay", path}, &buf); code != 0 {
+		t.Fatalf("replay exit %d:\n%s", code, buf.String())
+	}
+	log, err := trace.LoadRunLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Digests[0]++
+	bad := filepath.Join(dir, "bad.json")
+	if err := log.Save(bad); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if code := run([]string{"-replay", bad}, &buf); code != 1 {
+		t.Fatalf("tampered replay exit %d, want 1:\n%s", code, buf.String())
+	}
+	buf.Reset()
+	if code := run([]string{"-replay", filepath.Join(dir, "missing.json")}, &buf); code != 2 {
+		t.Fatalf("missing artifact exit %d, want 2", code)
+	}
+}

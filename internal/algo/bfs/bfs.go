@@ -171,6 +171,11 @@ func Regressed(old, next State) string {
 	return ""
 }
 
+// Auto returns the BFS transition function, for engines (like the bounded
+// model checker, internal/mc) that evaluate activations outside a Network.
+// The automaton is deterministic: it never consults the RNG.
+func Auto() fssga.Automaton[State] { return automaton{} }
+
 // NewNetwork builds a BFS network with the given originator and target
 // set. Targets may be empty (pure BFS labelling; the originator then ends
 // Failed once the wave exhausts its component).

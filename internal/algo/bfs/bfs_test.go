@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/testutil"
+
 	"repro/internal/algo/synchronizer"
 	"repro/internal/fssga"
 	"repro/internal/graph"
@@ -35,7 +37,7 @@ func TestLabelsAreDistancesMod3(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 101, 30)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -98,7 +100,7 @@ func TestNoTargetEndsFailed(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 102, 30)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -186,7 +188,7 @@ func TestAsyncViaSynchronizer(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 103, 15)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/testutil"
+
 	"repro/internal/agent"
 	"repro/internal/graph"
 )
@@ -43,7 +45,7 @@ func TestBridgeCountersStayBounded(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 104, 10)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -68,7 +70,7 @@ func TestRunMatchesOracle(t *testing.T) {
 		res := Run(g, rng.Intn(n), 6, rng)
 		return res.TrueSet
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 105, 10)); err != nil {
 		t.Fatal(err)
 	}
 }

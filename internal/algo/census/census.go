@@ -118,6 +118,14 @@ func (automaton) Step(self State, view *fssga.View[State], rnd *rand.Rand) State
 	return out
 }
 
+// Auto returns the iterated-OR transition function for cfg, for engines
+// (like the bounded model checker, internal/mc) that evaluate activations
+// outside a Network. The automaton is deterministic: it never consults
+// the RNG (randomness enters only through initial sketches).
+func Auto(cfg Config) fssga.Automaton[State] {
+	return automaton{bits: cfg.Bits, sketches: cfg.Sketches}
+}
+
 // NewNetwork builds the census network over g with randomized initial
 // sketches derived from cfg.Seed.
 func NewNetwork(g *graph.Graph, cfg Config) (*fssga.Network[State], error) {

@@ -501,6 +501,13 @@ type Tracker struct {
 	lastPhaseMark     int
 }
 
+// Auto returns the election transition function, for engines (like the
+// bounded model checker, internal/mc) that evaluate activations outside a
+// Network. Unlike the other algorithms' automata this one is randomized —
+// it consults the RNG for labels, colours, and coin flips — so callers
+// must supply a deterministic per-activation RNG to get replayable runs.
+func Auto() fssga.Automaton[State] { return automaton{} }
+
 // New builds an election network over g.
 func New(g *graph.Graph, seed int64) *Tracker {
 	return newTracker(g, seed, false)

@@ -64,6 +64,12 @@ func (a automaton) Step(self State, view *fssga.View[State], rnd *rand.Rand) Sta
 	return State{Label: label}
 }
 
+// Auto returns the distance-relaxation transition function with the given
+// label cap, for engines (like the bounded model checker, internal/mc)
+// that evaluate activations outside a Network. The automaton is
+// deterministic: it never consults the RNG.
+func Auto(cap int) fssga.Automaton[State] { return automaton{cap: cap} }
+
 // NewNetwork builds a shortest-path network over g with the given target
 // set and label cap. Non-target nodes start at the cap (i.e. "unknown").
 func NewNetwork(g *graph.Graph, targets []int, cap int, seed int64) (*fssga.Network[State], error) {

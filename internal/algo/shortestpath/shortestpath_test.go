@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/testutil"
+
 	"repro/internal/fssga"
 	"repro/internal/graph"
 )
@@ -30,7 +32,7 @@ func TestLabelsMatchBFSOracle(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 106, 30)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -10,6 +10,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/testutil"
+
 	"repro/internal/algo/synchronizer"
 	"repro/internal/algo/twocolor"
 	"repro/internal/fssga"
@@ -83,7 +85,7 @@ func TestSynchronizedTwoColorMatchesSync(t *testing.T) {
 		}
 		return refFailed == asyncFailed
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 107, 12)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/testutil"
+
 	"repro/internal/fssga"
 	"repro/internal/graph"
 )
@@ -51,7 +53,7 @@ func TestSkewInvariantUnderFairSchedule(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 108, 20)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -128,7 +130,7 @@ func TestSimulatesSynchronousExecution(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 109, 15)); err != nil {
 		t.Fatal(err)
 	}
 }

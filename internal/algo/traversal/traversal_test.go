@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/testutil"
+
 	"repro/internal/graph"
 )
 
@@ -64,7 +66,7 @@ func TestMilgramHandMovesExactly2nMinus2(t *testing.T) {
 		}
 		return tr.HandMoves == 2*n-2
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 110, 20)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -185,7 +187,7 @@ func TestTouristMovesBoundedByNLogN(t *testing.T) {
 		bound := n * (2 + bitsLen(n))
 		return tr.Moves <= bound
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 111, 25)); err != nil {
 		t.Fatal(err)
 	}
 }

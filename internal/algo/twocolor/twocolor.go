@@ -124,6 +124,11 @@ func FormalPrograms() []*sm.ModThresh {
 	return progs
 }
 
+// Auto returns the 2-colouring transition function, for engines (like the
+// bounded model checker, internal/mc) that evaluate activations outside a
+// Network. The automaton is deterministic: it never consults the RNG.
+func Auto() fssga.Automaton[State] { return automaton{} }
+
 // NewNetwork builds the 2-colouring network with `origin` starting RED and
 // every other node BLANK.
 func NewNetwork(g *graph.Graph, origin int, seed int64) *fssga.Network[State] {

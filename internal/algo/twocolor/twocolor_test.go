@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/testutil"
+
 	"repro/internal/fssga"
 	"repro/internal/graph"
 	"repro/internal/sm"
@@ -87,7 +89,7 @@ func TestMatchesOracleProperty(t *testing.T) {
 		res := Run(g, 0, 20*g.NumNodes(), seed)
 		return res.Converged && res.Bipartite == g.IsBipartite()
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 112, 40)); err != nil {
 		t.Fatal(err)
 	}
 }

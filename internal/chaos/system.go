@@ -82,6 +82,13 @@ func (d *Digest) String(s string) {
 // Sum returns the current hash.
 func (d *Digest) Sum() uint64 { return d.h }
 
+// DigestStates hashes a full live network state under the chaos digest
+// scheme. Exported so other record/replay engines (the bounded model
+// checker, internal/mc) emit digests bit-compatible with chaos run logs.
+func DigestStates[S comparable](g *graph.Graph, states []S) uint64 {
+	return digestStates(g, states)
+}
+
 // digestStates hashes the live topology counts plus every live node's
 // state (via its canonical %v rendering — all target states are plain
 // value types, so the rendering is deterministic).

@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/testutil"
+
 	"repro/internal/graph"
 )
 
@@ -104,7 +106,7 @@ func TestRandomScheduleProperties(t *testing.T) {
 		in.Advance(g, 101)
 		return g.Validate() == nil
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 113, 30)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/testutil"
+
 	"repro/internal/graph"
 )
 
@@ -83,7 +85,7 @@ func TestDenseMatchesMap(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 114, 20)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/testutil"
+
 	"repro/internal/graph"
 )
 
@@ -66,7 +68,7 @@ func TestFrontierMatchesFullRounds(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 115, 20)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -109,7 +111,7 @@ func TestFrontierMatchesFullRoundsWithFaults(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 116, 15)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/testutil"
+
 	"repro/internal/graph"
 )
 
@@ -128,7 +130,7 @@ func TestParallelMatchesSerialDeterministic(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 117, 15)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -152,7 +154,7 @@ func TestParallelMatchesSerialProbabilistic(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 118, 15)); err != nil {
 		t.Fatal(err)
 	}
 }

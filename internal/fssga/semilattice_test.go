@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/testutil"
+
 	"repro/internal/graph"
 )
 
@@ -52,7 +54,7 @@ func TestSemiLatticeConvergesWithinDiameter(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 119, 25)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -111,7 +113,7 @@ func TestSemiLatticeZeroSensitive(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 120, 25)); err != nil {
 		t.Fatal(err)
 	}
 }

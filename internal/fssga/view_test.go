@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/testutil"
 )
 
 func TestViewBasics(t *testing.T) {
@@ -177,7 +179,7 @@ func TestViewMatchesReference(t *testing.T) {
 		}
 		return v.Empty() == (n == 0)
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 121, 200)); err != nil {
 		t.Fatal(err)
 	}
 }

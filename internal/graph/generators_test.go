@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/testutil"
 )
 
 func mustValid(t *testing.T, g *Graph) {
@@ -236,7 +238,7 @@ func TestRandomTreeProperties(t *testing.T) {
 		g := RandomTree(n, rng)
 		return g.Validate() == nil && g.NumEdges() == n-1 && g.Connected()
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 122, 50)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -260,7 +262,7 @@ func TestRandomConnectedGNPAlwaysConnected(t *testing.T) {
 		g := RandomConnectedGNP(n, 0.05, rng)
 		return g.Validate() == nil && g.Connected()
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 123, 50)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -273,7 +275,7 @@ func TestRandomBipartiteIsBipartiteAndConnected(t *testing.T) {
 		g := RandomBipartite(a, b, 0.3, rng)
 		return g.Validate() == nil && g.IsBipartite() && g.Connected()
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 124, 50)); err != nil {
 		t.Fatal(err)
 	}
 }

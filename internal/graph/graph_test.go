@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/testutil"
 )
 
 func TestNewEmpty(t *testing.T) {
@@ -258,7 +260,7 @@ func TestFaultSequenceInvariants(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 125, 25)); err != nil {
 		t.Fatal(err)
 	}
 }

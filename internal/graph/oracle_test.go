@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/testutil"
 )
 
 func TestConnected(t *testing.T) {
@@ -174,7 +176,7 @@ func TestBridgesMatchDefinition(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 126, 30)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -244,7 +246,7 @@ func TestBFSDistanceLipschitz(t *testing.T) {
 		}
 		return d[src] == 0
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 127, 40)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,286 @@
+package mc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/chaos"
+	"repro/internal/fssga"
+	"repro/internal/graph"
+)
+
+// Model describes one interleaving-exploration instance: a graph, an
+// automaton, an initial state vector, and the properties to check.
+type Model[S comparable] struct {
+	G    *graph.Graph
+	Auto fssga.Automaton[S]
+	Init []S // length G.Cap()
+
+	// Invariant checks one activation old -> next at node v ("" = legal).
+	// It is evaluated for every enabled transition at every visited state,
+	// independent of partial-order reduction.
+	Invariant func(v int, old, next S) string
+
+	// AtFixpoint checks a quiescent state vector ("" = correct). A state
+	// is quiescent when every enabled activation is a no-op.
+	AtFixpoint func(states []S) string
+
+	// Rand returns the RNG consulted when activating v in the given
+	// state, for randomized automata. It must depend only on v's local
+	// context (own state + neighbour states) so that an activation is a
+	// pure function of that context — the property both the visited-set
+	// and the replay path rely on. nil means the automaton is
+	// deterministic; a panicking source is substituted to enforce it.
+	Rand func(v int, states []S) *rand.Rand
+
+	// Confluent asserts that all reachable fixpoints are identical.
+	Confluent bool
+
+	// POR enables sleep-set partial-order reduction. Sound only when
+	// Rand is nil or local-context-pure (see Rand); it never changes the
+	// set of visited states, only skips redundant transitions.
+	POR bool
+
+	// MaxStates bounds the visited set; 0 means unbounded. Hitting the
+	// bound sets Report.Bounded instead of failing.
+	MaxStates int
+}
+
+// Report summarizes one exploration.
+type Report struct {
+	States         int // distinct global states visited
+	Transitions    int // activations executed (incl. no-ops, excl. slept)
+	Slept          int // transitions pruned by sleep sets
+	Fixpoints      int // distinct quiescent states reached
+	Bounded        bool
+	Counterexample *Counterexample
+}
+
+// Ok reports whether the exploration finished without a violation.
+func (r Report) Ok() bool { return r.Counterexample == nil }
+
+// maxNodes bounds the graph size: transition sets are uint64 bitmasks.
+const maxNodes = 64
+
+// panicSource trips if a supposedly deterministic automaton consults its
+// RNG during exploration.
+type panicSource struct{}
+
+func (panicSource) Int63() int64 { panic("mc: deterministic automaton consulted the RNG") }
+func (panicSource) Seed(int64)   {}
+
+// explorer is the DFS state shared across the recursion.
+type explorer[S comparable] struct {
+	m         Model[S]
+	nodes     []int             // live, non-isolated nodes (the enabled transitions)
+	enabled   uint64            // bitmask of nodes
+	indep     [maxNodes]uint64  // indep[v] = enabled nodes u with u != v, u not adjacent to v
+	intern    map[S]uint16      // per-node state interning for vector keys
+	visited   map[string]int    // packed state vector -> state id
+	explored  []uint64          // per state id: transitions already expanded
+	fixpoints map[string]string // fixpoint key -> digest note (distinct fixpoints)
+	firstFix  []S
+	rep       Report
+	panicRNG  *rand.Rand
+	keyBuf    []byte
+}
+
+// Explore exhaustively enumerates the asynchronous executions of m and
+// returns the report. Exploration stops at the first violation (invariant
+// breach, fixpoint-oracle failure, or — for confluent models — a second
+// distinct fixpoint), recording a replayable counterexample.
+func Explore[S comparable](m Model[S]) Report {
+	if m.G.Cap() > maxNodes {
+		panic(fmt.Sprintf("mc: Explore supports at most %d nodes, got %d", maxNodes, m.G.Cap()))
+	}
+	e := &explorer[S]{
+		m:         m,
+		intern:    make(map[S]uint16),
+		visited:   make(map[string]int),
+		fixpoints: make(map[string]string),
+		panicRNG:  rand.New(panicSource{}),
+	}
+	for v := 0; v < m.G.Cap(); v++ {
+		// Matches fssga.Network.Activate: dead and isolated nodes never
+		// activate (an isolated node's view would be empty).
+		if m.G.Alive(v) && m.G.Degree(v) > 0 {
+			e.nodes = append(e.nodes, v)
+			e.enabled |= 1 << uint(v)
+		}
+	}
+	for _, v := range e.nodes {
+		mask := e.enabled &^ (1 << uint(v))
+		for _, u := range m.G.NeighborsSorted(v) {
+			mask &^= 1 << uint(u)
+		}
+		e.indep[v] = mask
+	}
+	states := append([]S(nil), m.Init...)
+	e.dfs(states, 0, nil)
+	e.rep.Fixpoints = len(e.fixpoints)
+	return e.rep
+}
+
+// key packs the state vector of the enabled nodes into a string via the
+// interning table. Disabled nodes never change state, so they are
+// excluded.
+func (e *explorer[S]) key(states []S) string {
+	e.keyBuf = e.keyBuf[:0]
+	for _, v := range e.nodes {
+		id, ok := e.intern[states[v]]
+		if !ok {
+			id = uint16(len(e.intern))
+			e.intern[states[v]] = id
+		}
+		e.keyBuf = append(e.keyBuf, byte(id), byte(id>>8))
+	}
+	return string(e.keyBuf)
+}
+
+// step computes the successor state of node v (a pure function of v's
+// local context, by the Model.Rand contract).
+func (e *explorer[S]) step(v int, states []S) S {
+	view := fssga.NewView(e.neighborStates(v, states))
+	rng := e.panicRNG
+	if e.m.Rand != nil {
+		rng = e.m.Rand(v, states)
+	}
+	return e.m.Auto.Step(states[v], view, rng)
+}
+
+func (e *explorer[S]) neighborStates(v int, states []S) []S {
+	var ns []S
+	for _, u := range e.m.G.NeighborsSorted(v) {
+		ns = append(ns, states[u])
+	}
+	return ns
+}
+
+// fail records the counterexample (the activation path from Init) and
+// aborts the DFS.
+func (e *explorer[S]) fail(path []int, violation string) {
+	e.rep.Counterexample = &Counterexample{
+		Picks:     append([]int(nil), path...),
+		Violation: violation,
+	}
+}
+
+// dfs explores from the given state vector under the given sleep set. It
+// returns false to abort the whole exploration (a violation was recorded).
+// Re-arrivals at a visited state re-enter with the per-state explored mask
+// subtracted, the standard fix that keeps sleep sets sound: a transition
+// slept on one arrival is still taken on a later arrival that does not
+// sleep it, so no global state is ever lost — only redundant interleavings.
+func (e *explorer[S]) dfs(states []S, sleep uint64, path []int) bool {
+	k := e.key(states)
+	id, seen := e.visited[k]
+	if !seen {
+		if e.m.MaxStates > 0 && len(e.visited) >= e.m.MaxStates {
+			e.rep.Bounded = true
+			return true // stop expanding, not a failure
+		}
+		id = len(e.visited)
+		e.visited[k] = id
+		e.explored = append(e.explored, 0)
+		e.rep.States++
+	}
+
+	// Compute every enabled successor once: needed for invariant checks
+	// (on all transitions, POR or not), no-op detection, and expansion.
+	succ := make([]S, len(e.nodes))
+	var noop uint64
+	quiescent := true
+	for i, v := range e.nodes {
+		next := e.step(v, states)
+		succ[i] = next
+		if next == states[v] {
+			noop |= 1 << uint(v)
+		} else {
+			quiescent = false
+		}
+		if !seen && e.m.Invariant != nil {
+			if msg := e.m.Invariant(v, states[v], next); msg != "" {
+				e.fail(append(path, v), fmt.Sprintf("invariant violated at node %d: %s", v, msg))
+				return false
+			}
+		}
+	}
+
+	if quiescent {
+		if !seen {
+			if e.m.AtFixpoint != nil {
+				if msg := e.m.AtFixpoint(states); msg != "" {
+					e.fail(path, "fixpoint oracle: "+msg)
+					return false
+				}
+			}
+			if _, dup := e.fixpoints[k]; !dup {
+				e.fixpoints[k] = ""
+				if e.m.Confluent {
+					if e.firstFix == nil {
+						e.firstFix = append([]S(nil), states...)
+					} else {
+						e.fail(path, fmt.Sprintf("confluence violated: second distinct fixpoint (first %v, second %v)", e.firstFix, states))
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+
+	// No-op transitions lead back to this very state: mark them explored
+	// without recursing (sound — the target state is this one).
+	e.explored[id] |= noop
+
+	toExplore := e.enabled &^ e.explored[id]
+	if e.m.POR {
+		slept := toExplore & sleep
+		e.rep.Slept += popcount(slept)
+		toExplore &^= sleep
+	}
+	var done uint64
+	for i, v := range e.nodes {
+		bit := uint64(1) << uint(v)
+		if toExplore&bit == 0 {
+			continue
+		}
+		e.explored[id] |= bit
+		e.rep.Transitions++
+		childSleep := uint64(0)
+		if e.m.POR {
+			childSleep = (sleep | done) & e.indep[v]
+		}
+		old := states[v]
+		states[v] = succ[i]
+		ok := e.dfs(states, childSleep, append(path, v))
+		states[v] = old
+		if !ok {
+			return false
+		}
+		done |= bit
+	}
+	return true
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// digestPath recomputes the per-activation digest sequence of a pick
+// sequence by pure-step replay from Init, under the chaos digest scheme.
+func digestPath[S comparable](m Model[S], picks []int) []uint64 {
+	e := &explorer[S]{m: m, panicRNG: rand.New(panicSource{})}
+	states := append([]S(nil), m.Init...)
+	digests := make([]uint64, 0, len(picks))
+	for _, v := range picks {
+		states[v] = e.step(v, states)
+		digests = append(digests, chaos.DigestStates(m.G, states))
+	}
+	return digests
+}

@@ -1,0 +1,170 @@
+package mc
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/algo/twocolor"
+	"repro/internal/graph"
+	"repro/internal/trace"
+)
+
+// modelForTest is the twocolor model with a sabotaged invariant (no node
+// may ever fail), which any odd-cycle execution must violate.
+func modelForTest(g *graph.Graph) Model[twocolor.State] {
+	init := make([]twocolor.State, g.Cap())
+	init[0] = twocolor.Red
+	return Model[twocolor.State]{
+		G:    g,
+		Auto: twocolor.Auto(),
+		Init: init,
+		Invariant: func(v int, old, next twocolor.State) string {
+			if next == twocolor.Failed {
+				return "sabotage: node failed"
+			}
+			return ""
+		},
+		POR: true,
+	}
+}
+
+// TestExploreAllPairs exhaustively explores every registered pair and
+// requires zero counterexamples. Deterministic pairs must complete
+// unbounded; the election pair may hit its state budget.
+func TestExploreAllPairs(t *testing.T) {
+	for _, p := range Pairs() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			rep := p.Explore()
+			if !rep.Ok() {
+				t.Fatalf("counterexample: %s", rep.Counterexample)
+			}
+			if rep.States == 0 || rep.Transitions == 0 {
+				t.Fatalf("degenerate exploration: %+v", rep)
+			}
+			if !p.Bounded && rep.Bounded {
+				t.Fatalf("exploration unexpectedly hit the state budget: %+v", rep)
+			}
+			if !p.Bounded && rep.Fixpoints == 0 {
+				t.Fatalf("no fixpoint reached: %+v", rep)
+			}
+			t.Logf("%s: states=%d transitions=%d slept=%d fixpoints=%d bounded=%v",
+				p.Name, rep.States, rep.Transitions, rep.Slept, rep.Fixpoints, rep.Bounded)
+		})
+	}
+}
+
+// TestPORPreservesStateCoverage cross-validates the sleep-set reduction:
+// with and without POR the explorer must visit exactly the same number of
+// states and fixpoints (sleep sets prune transitions, never states), and
+// POR must not execute more transitions.
+func TestPORPreservesStateCoverage(t *testing.T) {
+	for _, name := range []string{"twocolor/path6", "shortestpath/path5", "census/cycle4", "bfs/star5"} {
+		p, err := LookupPair(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		por := p.Explore()
+		full := p.ExploreNoPOR()
+		if !por.Ok() || !full.Ok() {
+			t.Fatalf("%s: counterexample (por=%v, full=%v)", name, por.Counterexample, full.Counterexample)
+		}
+		if por.States != full.States {
+			t.Errorf("%s: POR visited %d states, full DFS %d", name, por.States, full.States)
+		}
+		if por.Fixpoints != full.Fixpoints {
+			t.Errorf("%s: POR found %d fixpoints, full DFS %d", name, por.Fixpoints, full.Fixpoints)
+		}
+		if por.Transitions > full.Transitions {
+			t.Errorf("%s: POR executed %d transitions, full DFS only %d", name, por.Transitions, full.Transitions)
+		}
+		if full.Slept != 0 {
+			t.Errorf("%s: full DFS slept %d transitions", name, full.Slept)
+		}
+	}
+}
+
+// TestPureStepMatchesNetwork cross-validates the explorer's pure-step
+// semantics against the real engine: a random activation schedule must
+// produce identical per-activation digests via pure-step replay and via
+// fssga.Network.Activate under the chaos replay scheduler.
+func TestPureStepMatchesNetwork(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, p := range Pairs() {
+		if p.Randomized {
+			continue
+		}
+		picks := make([]int, 40)
+		for i := range picks {
+			picks[i] = rng.Intn(p.Spec.N)
+		}
+		pure := p.ReplayPure(picks)
+		net, err := p.ReplayNetwork(picks)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if !reflect.DeepEqual(pure, net) {
+			t.Errorf("%s: pure-step and network digests diverge", p.Name)
+		}
+	}
+}
+
+// TestCounterexampleArtifactRoundTrip exercises the full artifact path: a
+// (synthetic) counterexample is converted to a trace.RunLog, saved,
+// loaded, and verified to replay bit-identically through both replay
+// engines; a tampered digest must be rejected.
+func TestCounterexampleArtifactRoundTrip(t *testing.T) {
+	p, err := LookupPair("twocolor/path6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	picks := []int{0, 1, 2, 1, 3, 4, 5, 2}
+	ce := &Counterexample{
+		Pair:      p.Name,
+		Picks:     picks,
+		Digests:   p.ReplayPure(picks),
+		Violation: "synthetic (artifact round-trip test)",
+	}
+	log := ce.RunLog(p.Spec, p.Seed)
+	path := filepath.Join(t.TempDir(), "ce.json")
+	if err := log.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := trace.LoadRunLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyReplay(loaded); err != nil {
+		t.Fatalf("replay of saved artifact: %v", err)
+	}
+	loaded.Digests[3] ^= 1
+	if err := VerifyReplay(loaded); err == nil {
+		t.Fatal("tampered artifact replayed cleanly")
+	}
+}
+
+// TestExplorerFindsInjectedViolation checks the counterexample machinery
+// end to end on a model with a deliberately wrong oracle: the explorer
+// must fail, and the recorded pick sequence must replay to a state
+// rejected by the same oracle.
+func TestExplorerFindsInjectedViolation(t *testing.T) {
+	p, err := LookupPair("twocolor/cycle5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mustBuild(p.Spec)
+	m := modelForTest(g)
+	rep := Explore(m)
+	if rep.Ok() {
+		t.Fatal("sabotaged model produced no counterexample")
+	}
+	if len(rep.Counterexample.Picks) == 0 {
+		t.Fatal("counterexample has no activation path")
+	}
+	digests := digestPath(m, rep.Counterexample.Picks)
+	if len(digests) != len(rep.Counterexample.Picks) {
+		t.Fatalf("replay produced %d digests for %d picks", len(digests), len(rep.Counterexample.Picks))
+	}
+}

@@ -1,0 +1,67 @@
+// Package mc is the bounded model checker: where the test suite samples
+// behaviours, this package enumerates them exhaustively within explicit
+// bounds, turning the repo's two central correctness claims into
+// small-scope proofs.
+//
+// Engine 1 (theorem.go) verifies Theorem 3.7 of Pritchard & Vempala
+// (SPAA 2006) — sequential, parallel, and mod-thresh programs compute the
+// same class of SM functions — by enumerating every canonical program up
+// to a size bound, running every conversion in internal/sm on each, and
+// checking input/output equivalence over all multisets up to a length
+// bound. Isomorphism pruning (sm.EnumerateCanonicalSequential) keeps the
+// space tractable without losing coverage: conversions and checkers are
+// invariant under state renaming and unreachable-state removal.
+//
+// Engine 2 (interleave.go, targets.go) explores every asynchronous
+// activation order of the paper's algorithms on small topologies: a DFS
+// over global state vectors with a visited set and sleep-set partial-order
+// reduction, asserting per-transition invariants everywhere, oracle
+// agreement at every quiescent state, and confluence (a unique fixpoint)
+// where the paper claims the outcome is schedule-independent.
+//
+// Counterexamples are emitted as trace.RunLog artifacts (replay.go) that
+// replay bit-identically — same per-activation digests under the chaos
+// digest scheme — through fssga.Network.Activate driven by the chaos
+// replay scheduler, so a model-checking failure is debugged with exactly
+// the tooling used for chaos-testing failures. cmd/fssga-mc is the CLI.
+package mc
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Counterexample is a violating execution found by the interleaving
+// explorer: the activation sequence from the initial state to the
+// violation, with a digest after every activation.
+type Counterexample struct {
+	Pair      string   // target pair name (targets.go)
+	Picks     []int    // activation sequence from the initial state
+	Digests   []uint64 // chaos-scheme digest after each activation
+	Violation string   // what failed
+}
+
+// String renders the counterexample compactly.
+func (c *Counterexample) String() string {
+	return fmt.Sprintf("%s: %s after %d activations %v", c.Pair, c.Violation, len(c.Picks), c.Picks)
+}
+
+// RunLog converts the counterexample into the chaos artifact format, so
+// it can be saved, loaded, and replayed with the same tooling as chaos
+// traces. Picks carry the schedule; Digests verify the replay.
+func (c *Counterexample) RunLog(spec trace.GraphSpec, seed int64) *trace.RunLog {
+	return &trace.RunLog{
+		Target:    "mc/" + c.Pair,
+		Adversary: "none",
+		Graph:     spec,
+		Seed:      seed,
+		MaxRounds: len(c.Picks),
+		Events:    []trace.EventRec{},
+		Picks:     append([]int(nil), c.Picks...),
+		Rounds:    len(c.Picks),
+		Violation: c.Violation,
+		Round:     len(c.Picks),
+		Digests:   append([]uint64(nil), c.Digests...),
+	}
+}

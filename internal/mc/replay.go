@@ -1,0 +1,43 @@
+package mc
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// VerifyReplay re-executes a model-checking counterexample artifact and
+// checks bit-identity with the recorded run: the pure-step replay (and,
+// for deterministic pairs, the fssga.Network replay driven by the chaos
+// replay scheduler) must reproduce the recorded per-activation digest
+// sequence exactly.
+func VerifyReplay(log *trace.RunLog) error {
+	name, ok := strings.CutPrefix(log.Target, "mc/")
+	if !ok {
+		return fmt.Errorf("mc: %q is not a model-checking artifact (target must be mc/<pair>)", log.Target)
+	}
+	p, err := LookupPair(name)
+	if err != nil {
+		return err
+	}
+	if p.Spec != log.Graph {
+		return fmt.Errorf("mc: artifact graph %+v does not match pair %s graph %+v", log.Graph, p.Name, p.Spec)
+	}
+	pure := p.ReplayPure(log.Picks)
+	if !reflect.DeepEqual(pure, log.Digests) {
+		return fmt.Errorf("mc: pure-step replay digests diverge from artifact")
+	}
+	if p.Randomized {
+		return nil
+	}
+	net, err := p.ReplayNetwork(log.Picks)
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(net, log.Digests) {
+		return fmt.Errorf("mc: network replay digests diverge from artifact")
+	}
+	return nil
+}

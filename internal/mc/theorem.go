@@ -1,0 +1,201 @@
+package mc
+
+import (
+	"fmt"
+
+	"repro/internal/sm"
+)
+
+// TheoremConfig bounds the Theorem 3.7 verification.
+type TheoremConfig struct {
+	// NumQ/NumR are the input/result alphabet sizes of the sequential
+	// side; MaxW bounds its working-state count.
+	NumQ, NumR, MaxW int
+	// EquivLen is the multiset-size bound for input/output equivalence
+	// checks between conversion stages.
+	EquivLen int
+	// MTSets selects the mod-thresh program spaces to scan; nil means
+	// the default two (see DefaultTheoremConfig).
+	MTSets []MTSet
+	// MaxFailures caps the failure list (the scan still counts beyond it).
+	MaxFailures int
+}
+
+// MTSet is one mod-thresh enumeration space: all programs over numQ
+// input states and numR results with at most MaxClauses clauses drawing
+// atoms from moduli <= MaxMod and thresholds <= MaxThresh.
+type MTSet struct {
+	NumQ, NumR, MaxClauses, MaxMod, MaxThresh int
+}
+
+// DefaultTheoremConfig is the full-run configuration: every canonical
+// sequential program with 2 input states, 2 results, and up to 3 working
+// states (1778 programs), plus two mod-thresh spaces (2114 + 1626
+// programs) chosen so that both atom kinds, negation, clause ordering,
+// and the Lemma 3.8 lcm/saturation bookkeeping are all exercised.
+func DefaultTheoremConfig() TheoremConfig {
+	return TheoremConfig{
+		NumQ: 2, NumR: 2, MaxW: 3, EquivLen: 7,
+		MTSets: []MTSet{
+			{NumQ: 2, NumR: 2, MaxClauses: 2, MaxMod: 2, MaxThresh: 2},
+			{NumQ: 1, NumR: 2, MaxClauses: 2, MaxMod: 3, MaxThresh: 2},
+		},
+		MaxFailures: 20,
+	}
+}
+
+// SmokeTheoremConfig is the CI-budget configuration: the same pipeline
+// over smaller spaces (up to 2 working states; one mod-thresh set).
+func SmokeTheoremConfig() TheoremConfig {
+	return TheoremConfig{
+		NumQ: 2, NumR: 2, MaxW: 2, EquivLen: 6,
+		MTSets: []MTSet{
+			{NumQ: 2, NumR: 2, MaxClauses: 1, MaxMod: 2, MaxThresh: 2},
+		},
+		MaxFailures: 20,
+	}
+}
+
+// TheoremReport summarizes one Theorem 3.7 verification sweep.
+type TheoremReport struct {
+	SeqPrograms  int // canonical sequential programs enumerated
+	SeqSymmetric int // of those, accepted by the exact checker
+	MTPrograms   int // mod-thresh programs enumerated
+	Conversions  int // conversion stages executed
+	Failures     []string
+	FailureCount int
+}
+
+// Programs is the total number of programs exhaustively verified.
+func (r TheoremReport) Programs() int { return r.SeqPrograms + r.MTPrograms }
+
+// Ok reports whether the sweep found no discrepancy.
+func (r TheoremReport) Ok() bool { return r.FailureCount == 0 }
+
+// CheckTheorem37 exhaustively verifies the Theorem 3.7 equivalences
+// within cfg's bounds.
+//
+// Sequential side: for every canonical sequential program (one
+// representative per isomorphism class — conversions and checkers are
+// invariant under state renaming, so this loses nothing), the exact
+// Myhill–Nerode checker is cross-validated against brute force over all
+// words of length <= 2n (a violating swap needs at most n-1 letters to
+// reach a state, 2 to swap, and n-1 to distinguish the results), and
+// every symmetric program is pushed around the full conversion cycle
+//
+//	sequential -> mod-thresh (Lemma 3.9) -> parallel (Lemma 3.8)
+//	           -> sequential (Lemma 3.5)
+//
+// with input/output equivalence checked between every stage on all
+// multisets up to cfg.EquivLen and each converted program re-accepted by
+// its model's exact checker.
+//
+// Mod-thresh side: every program of every cfg.MTSets space runs the cycle
+// mod-thresh -> parallel -> sequential -> mod-thresh with the same
+// stage-by-stage equivalence and checker acceptance.
+func CheckTheorem37(cfg TheoremConfig) TheoremReport {
+	var rep TheoremReport
+	fail := func(format string, args ...any) {
+		rep.FailureCount++
+		if len(rep.Failures) < cfg.MaxFailures {
+			rep.Failures = append(rep.Failures, fmt.Sprintf(format, args...))
+		}
+	}
+
+	sm.EnumerateCanonicalSequential(cfg.NumQ, cfg.MaxW, cfg.NumR, func(s *sm.Sequential) {
+		rep.SeqPrograms++
+		n := len(s.P)
+		exact := sm.CheckSequential(s) == nil
+		brute := sm.BruteCheckSequential(s, 2*n) == nil
+		if exact != brute {
+			fail("checker mismatch on %+v: exact symmetric=%v, brute(<=%d) symmetric=%v", s, exact, 2*n, brute)
+			return
+		}
+		if !exact {
+			return // not an SM function; Theorem 3.7 says nothing about it
+		}
+		rep.SeqSymmetric++
+
+		mt, err := sm.SequentialToModThresh(s)
+		if err != nil {
+			fail("SequentialToModThresh(%+v): %v", s, err)
+			return
+		}
+		rep.Conversions++
+		if err := sm.Equivalent(s, mt, cfg.NumQ, cfg.EquivLen); err != nil {
+			fail("seq != mod-thresh for %+v: %v", s, err)
+			return
+		}
+		p, err := sm.ModThreshToParallel(mt)
+		if err != nil {
+			fail("ModThreshToParallel(seq %+v): %v", s, err)
+			return
+		}
+		rep.Conversions++
+		if err := sm.CheckParallel(p); err != nil {
+			fail("converted parallel not SM for seq %+v: %v", s, err)
+			return
+		}
+		if err := sm.Equivalent(mt, p, cfg.NumQ, cfg.EquivLen); err != nil {
+			fail("mod-thresh != parallel for seq %+v: %v", s, err)
+			return
+		}
+		s2, err := sm.ParallelToSequential(p)
+		if err != nil {
+			fail("ParallelToSequential(seq %+v): %v", s, err)
+			return
+		}
+		rep.Conversions++
+		if err := sm.CheckSequential(s2); err != nil {
+			fail("round-tripped sequential not SM for %+v: %v", s, err)
+			return
+		}
+		if err := sm.Equivalent(s, s2, cfg.NumQ, cfg.EquivLen); err != nil {
+			fail("seq round trip changed function for %+v: %v", s, err)
+		}
+	})
+
+	for _, set := range cfg.MTSets {
+		sm.EnumerateSmallModThresh(set.NumQ, set.NumR, set.MaxClauses, set.MaxMod, set.MaxThresh, func(mt *sm.ModThresh) {
+			rep.MTPrograms++
+			p, err := sm.ModThreshToParallel(mt)
+			if err != nil {
+				fail("ModThreshToParallel(%+v): %v", mt, err)
+				return
+			}
+			rep.Conversions++
+			if err := sm.CheckParallel(p); err != nil {
+				fail("converted parallel not SM for mt %+v: %v", mt, err)
+				return
+			}
+			if err := sm.Equivalent(mt, p, set.NumQ, cfg.EquivLen); err != nil {
+				fail("mod-thresh != parallel for %+v: %v", mt, err)
+				return
+			}
+			s, err := sm.ParallelToSequential(p)
+			if err != nil {
+				fail("ParallelToSequential(mt %+v): %v", mt, err)
+				return
+			}
+			rep.Conversions++
+			if err := sm.CheckSequential(s); err != nil {
+				fail("converted sequential not SM for mt %+v: %v", mt, err)
+				return
+			}
+			if err := sm.Equivalent(p, s, set.NumQ, cfg.EquivLen); err != nil {
+				fail("parallel != sequential for mt %+v: %v", mt, err)
+				return
+			}
+			mt2, err := sm.SequentialToModThresh(sm.CanonicalizeSequential(s))
+			if err != nil {
+				fail("SequentialToModThresh(mt %+v): %v", mt, err)
+				return
+			}
+			rep.Conversions++
+			if err := sm.Equivalent(mt, mt2, set.NumQ, cfg.EquivLen); err != nil {
+				fail("mod-thresh round trip changed function for %+v: %v", mt, err)
+			}
+		})
+	}
+	return rep
+}

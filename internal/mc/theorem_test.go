@@ -1,0 +1,45 @@
+package mc
+
+import "testing"
+
+// TestTheoremSmoke runs the CI-budget sweep and pins its program counts:
+// canonical sequential programs with <= 2 states over numQ = numR = 2
+// (2 one-state + 48 two-state = 50) and the single small mod-thresh set
+// (2 + 32·2 = 66 programs).
+func TestTheoremSmoke(t *testing.T) {
+	rep := CheckTheorem37(SmokeTheoremConfig())
+	if !rep.Ok() {
+		t.Fatalf("theorem violations: %v (%d total)", rep.Failures, rep.FailureCount)
+	}
+	if rep.SeqPrograms != 50 {
+		t.Errorf("SeqPrograms = %d, want 50", rep.SeqPrograms)
+	}
+	if rep.MTPrograms != 66 {
+		t.Errorf("MTPrograms = %d, want 66", rep.MTPrograms)
+	}
+	if rep.SeqSymmetric == 0 || rep.SeqSymmetric == rep.SeqPrograms {
+		t.Errorf("SeqSymmetric = %d of %d (should be a strict subset)", rep.SeqSymmetric, rep.SeqPrograms)
+	}
+}
+
+// TestTheoremFull runs the full sweep: 1778 canonical sequential programs
+// (2 + 48 + 216·8) and 3740 mod-thresh programs (2114 + 1626), exceeding
+// the 10^3-program acceptance floor.
+func TestTheoremFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Theorem 3.7 sweep skipped in -short mode")
+	}
+	rep := CheckTheorem37(DefaultTheoremConfig())
+	if !rep.Ok() {
+		t.Fatalf("theorem violations: %v (%d total)", rep.Failures, rep.FailureCount)
+	}
+	if rep.SeqPrograms != 1778 {
+		t.Errorf("SeqPrograms = %d, want 1778", rep.SeqPrograms)
+	}
+	if rep.MTPrograms != 3740 {
+		t.Errorf("MTPrograms = %d, want 3740", rep.MTPrograms)
+	}
+	if rep.Programs() <= 1000 {
+		t.Errorf("Programs = %d, want > 1000", rep.Programs())
+	}
+}

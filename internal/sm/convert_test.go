@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/testutil"
 )
 
 // These tests cross-validate the Theorem 3.7 conversions: every conversion
@@ -48,7 +50,7 @@ func TestParallelToSequentialProperty(t *testing.T) {
 		}
 		return CheckSequential(s) == nil && Equivalent(p, s, p.NumQ, 5) == nil
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 128, 30)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -91,7 +93,7 @@ func TestModThreshToParallelProperty(t *testing.T) {
 		}
 		return CheckParallel(p) == nil && Equivalent(m, p, m.NumQ, 6) == nil
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 129, 30)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -131,7 +133,7 @@ func TestSequentialToModThreshProperty(t *testing.T) {
 		}
 		return m.Validate() == nil && Equivalent(s, m, s.NumQ, 6) == nil
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 130, 30)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -159,7 +161,7 @@ func TestFullConversionCycle(t *testing.T) {
 			Equivalent(par, s1, s0.NumQ, 5) == nil &&
 			CheckSequential(s1) == nil
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 131, 20)); err != nil {
 		t.Fatal(err)
 	}
 }

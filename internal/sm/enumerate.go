@@ -92,3 +92,168 @@ func functionKey(f Func, numQ, maxLen int) string {
 	})
 	return string(key)
 }
+
+// EnumerateCanonicalSequential calls visit for every *canonical*
+// sequential program with alphabet numQ, result alphabet numR, and
+// exactly 1..maxW working states, all reachable from the start state 0.
+// Canonical means working states are numbered in row-major first-reference
+// order: scanning P[0][0], P[0][1], ..., P[1][0], ... the first reference
+// to each state s >= 1 occurs after the first reference to s-1 and before
+// row s begins. Every sequential program is isomorphic — after dropping
+// unreachable states and renaming, neither of which changes the computed
+// function or any conversion built on reachable structure — to exactly
+// one canonical program, so visiting canonical programs covers the whole
+// program space up to isomorphism (the bounded model checker's pruning;
+// see internal/mc). The program passed to visit is reused; copy it if
+// retained.
+func EnumerateCanonicalSequential(numQ, maxW, numR int, visit func(*Sequential)) {
+	if numQ < 1 || maxW < 1 || numR < 1 {
+		panic("sm: EnumerateCanonicalSequential needs numQ, maxW, numR >= 1")
+	}
+	for n := 1; n <= maxW; n++ {
+		enumCanonicalTables(numQ, n, numR, visit)
+	}
+}
+
+// enumCanonicalTables enumerates canonical transition tables with exactly
+// n states (every state referenced in first-reference order), crossed
+// with all numR^n output maps.
+func enumCanonicalTables(numQ, n, numR int, visit func(*Sequential)) {
+	s := &Sequential{
+		NumQ: numQ,
+		NumR: numR,
+		W0:   0,
+		P:    make([][]int, n),
+		Beta: make([]int, n),
+	}
+	for w := range s.P {
+		s.P[w] = make([]int, numQ)
+	}
+	cells := n * numQ
+
+	var fillBeta func(i int)
+	fillBeta = func(i int) {
+		if i == n {
+			visit(s)
+			return
+		}
+		for r := 0; r < numR; r++ {
+			s.Beta[i] = r
+			fillBeta(i + 1)
+		}
+	}
+	// maxSeen is the highest state index referenced so far (state 0 exists
+	// a priori as the start state).
+	var fillP func(i, maxSeen int)
+	fillP = func(i, maxSeen int) {
+		if i == cells {
+			if maxSeen == n-1 {
+				fillBeta(0)
+			}
+			return
+		}
+		w, q := i/numQ, i%numQ
+		if q == 0 && w > maxSeen {
+			// Row w starts before state w was ever referenced: state w
+			// would be unreachable, so no canonical completion exists.
+			return
+		}
+		hi := maxSeen + 1
+		if hi > n-1 {
+			hi = n - 1
+		}
+		for nxt := 0; nxt <= hi; nxt++ {
+			s.P[w][q] = nxt
+			seen := maxSeen
+			if nxt > seen {
+				seen = nxt
+			}
+			fillP(i+1, seen)
+		}
+	}
+	fillP(0, 0)
+}
+
+// CanonicalizeSequential returns the canonical form of s: unreachable
+// states dropped and the rest renamed into row-major first-reference
+// order from the start state. The result computes the same function as s
+// and is the unique representative EnumerateCanonicalSequential visits
+// for s's isomorphism class.
+func CanonicalizeSequential(s *Sequential) *Sequential {
+	order := []int{s.W0}
+	rank := map[int]int{s.W0: 0}
+	for i := 0; i < len(order); i++ {
+		w := order[i]
+		for q := 0; q < s.NumQ; q++ {
+			nxt := s.P[w][q]
+			if _, ok := rank[nxt]; !ok {
+				rank[nxt] = len(order)
+				order = append(order, nxt)
+			}
+		}
+	}
+	c := &Sequential{
+		NumQ: s.NumQ,
+		NumR: s.NumR,
+		W0:   0,
+		P:    make([][]int, len(order)),
+		Beta: make([]int, len(order)),
+	}
+	for i, w := range order {
+		row := make([]int, s.NumQ)
+		for q := 0; q < s.NumQ; q++ {
+			row[q] = rank[s.P[w][q]]
+		}
+		c.P[i] = row
+		c.Beta[i] = s.Beta[w]
+	}
+	return c
+}
+
+// EnumerateSmallModThresh calls visit for every mod-thresh program over
+// numQ input states and numR results whose clauses (at most maxClauses of
+// them, each "atom or negated atom => result", plus a default) draw atoms
+// from the bounded set {μ_s < t : 1 <= t <= maxThresh} ∪
+// {μ_s ≡ r (mod m) : 2 <= m <= maxMod, 0 <= r < m}. This is the
+// mod-thresh-side program space of the bounded model checker: small, but
+// it exercises every atom kind, clause ordering, negation, and the lcm /
+// saturation bookkeeping of Lemma 3.8. The program passed to visit is
+// reused; copy it if retained.
+func EnumerateSmallModThresh(numQ, numR, maxClauses, maxMod, maxThresh int, visit func(*ModThresh)) {
+	if numQ < 1 || numR < 1 || maxClauses < 0 || maxMod < 2 || maxThresh < 1 {
+		panic("sm: EnumerateSmallModThresh needs numQ, numR >= 1, maxClauses >= 0, maxMod >= 2, maxThresh >= 1")
+	}
+	var props []Prop
+	for st := 0; st < numQ; st++ {
+		for t := 1; t <= maxThresh; t++ {
+			props = append(props, ThreshAtom{State: st, T: t})
+			props = append(props, Not{P: ThreshAtom{State: st, T: t}})
+		}
+		for m := 2; m <= maxMod; m++ {
+			for r := 0; r < m; r++ {
+				props = append(props, ModAtom{State: st, Rem: r, Mod: m})
+				props = append(props, Not{P: ModAtom{State: st, Rem: r, Mod: m}})
+			}
+		}
+	}
+	mt := &ModThresh{NumQ: numQ, NumR: numR}
+	var fill func(clause int)
+	fill = func(clause int) {
+		for def := 0; def < numR; def++ {
+			mt.Default = def
+			visit(mt)
+		}
+		if clause == maxClauses {
+			return
+		}
+		mt.Clauses = append(mt.Clauses, Clause{})
+		for _, p := range props {
+			for res := 0; res < numR; res++ {
+				mt.Clauses[clause] = Clause{Cond: p, Result: res}
+				fill(clause + 1)
+			}
+		}
+		mt.Clauses = mt.Clauses[:clause]
+	}
+	fill(0)
+}

@@ -1,6 +1,10 @@
 package sm
 
-import "testing"
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
 
 func TestEnumerateSequentialCount(t *testing.T) {
 	// |W|=2, |Q|=1, |R|=2: tables 2^(2·1) × outputs 2^2 × starts 2 = 32.
@@ -61,6 +65,124 @@ func TestSequentialCensusBinaryAlphabet(t *testing.T) {
 		}
 	})
 	t.Logf("census: %d/%d symmetric, %d distinct functions", c.Symmetric, c.Total, c.DistinctFunctions)
+}
+
+// TestCanonicalStructureCounts pins the number of canonical transition
+// structures per state count for numQ = 2: the counts of initially
+// connected, fully-reachable 2-letter automata in row-major
+// first-reference canonical form (1, 12, 216 for n = 1, 2, 3).
+func TestCanonicalStructureCounts(t *testing.T) {
+	want := map[int]int{1: 1, 2: 12, 3: 216}
+	got := map[int]int{}
+	// numR = 1 makes Beta trivial, so each visit is one structure.
+	EnumerateCanonicalSequential(2, 3, 1, func(s *Sequential) {
+		got[len(s.P)]++
+	})
+	for n, w := range want {
+		if got[n] != w {
+			t.Errorf("canonical structures with %d states: got %d, want %d", n, got[n], w)
+		}
+	}
+}
+
+// TestCanonicalEnumerationCompleteAndMinimal checks, by brute force over
+// the full program space, that EnumerateCanonicalSequential visits exactly
+// one representative of each isomorphism class: every program's
+// canonicalization appears in the canonical set, no canonical program is
+// visited twice, and canonicalizing a canonical program is the identity.
+func TestCanonicalEnumerationCompleteAndMinimal(t *testing.T) {
+	const numQ, maxW, numR = 2, 3, 2
+	canon := map[string]bool{}
+	EnumerateCanonicalSequential(numQ, maxW, numR, func(s *Sequential) {
+		k := seqKey(s)
+		if canon[k] {
+			t.Fatalf("canonical program visited twice: %s", k)
+		}
+		canon[k] = true
+		if got := seqKey(CanonicalizeSequential(s)); got != k {
+			t.Fatalf("canonicalize not identity on canonical program: %s -> %s", k, got)
+		}
+	})
+	covered := map[string]bool{}
+	EnumerateSequential(numQ, maxW, numR, func(s *Sequential) {
+		k := seqKey(CanonicalizeSequential(s))
+		if !canon[k] {
+			t.Fatalf("canonicalization of %s missing from canonical enumeration", seqKey(s))
+		}
+		covered[k] = true
+	})
+	// EnumerateSequential fixes numW = maxW but allows unreachable states
+	// and arbitrary start states, so after canonicalization it covers every
+	// canonical program with 1..maxW states.
+	if len(covered) != len(canon) {
+		t.Errorf("brute-force cover reached %d canonical programs, enumeration visited %d",
+			len(covered), len(canon))
+	}
+}
+
+// TestCanonicalizePreservesFunction checks on random programs that
+// canonicalization preserves the computed function (on all inputs up to
+// length 6).
+func TestCanonicalizePreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 200; i++ {
+		s := RandomSequential(3, 3, 5, rng)
+		c := CanonicalizeSequential(s)
+		if err := Equivalent(s, c, s.NumQ, 6); err != nil {
+			t.Fatalf("canonicalization changed function: %v\norig: %+v\ncanon: %+v", err, s, c)
+		}
+	}
+}
+
+// TestEnumerateSmallModThreshCounts pins the program-space sizes the
+// bounded model checker scans, so a parameter change that silently
+// shrinks coverage fails here first.
+func TestEnumerateSmallModThreshCounts(t *testing.T) {
+	cases := []struct {
+		numQ, numR, maxClauses, maxMod, maxThresh int
+		want                                      int
+	}{
+		// Atoms per state: 2 thresh (t = 1, 2) + 2 mod (m = 2: r = 0, 1),
+		// each plain and negated = 8 props; numQ = 2 doubles that, and with
+		// numR = 2 there are 32 clause choices. Program counts by clause
+		// count: 2 + 32·2 + 32²·2 = 2114.
+		{2, 2, 2, 2, 2, 2114},
+		// numQ = 1, maxMod = 3: props = 2·2 (thresh) + 2·(2+3) (mod) = 14,
+		// 28 clause choices: 2 + 28·2 + 28²·2 = 1626.
+		{1, 2, 2, 3, 2, 1626},
+	}
+	for _, c := range cases {
+		got := 0
+		EnumerateSmallModThresh(c.numQ, c.numR, c.maxClauses, c.maxMod, c.maxThresh, func(*ModThresh) {
+			got++
+		})
+		if got != c.want {
+			t.Errorf("EnumerateSmallModThresh(%d,%d,%d,%d,%d) visited %d programs, want %d",
+				c.numQ, c.numR, c.maxClauses, c.maxMod, c.maxThresh, got, c.want)
+		}
+	}
+}
+
+// TestEnumerateSmallModThreshWellFormed checks that every visited program
+// validates and evaluates within its result alphabet on a few inputs.
+func TestEnumerateSmallModThreshWellFormed(t *testing.T) {
+	inputs := [][]int{{0}, {0, 0}, {0, 0, 0}} // SM functions take Q^+, so no empty input
+	EnumerateSmallModThresh(1, 2, 1, 2, 1, func(mt *ModThresh) {
+		if err := mt.Validate(); err != nil {
+			t.Fatalf("invalid program %+v: %v", mt, err)
+		}
+		for _, in := range inputs {
+			r := mt.Eval(in)
+			if r < 0 || r >= mt.NumR {
+				t.Fatalf("result %d out of range for %+v on %v", r, mt, in)
+			}
+		}
+	})
+}
+
+// seqKey serializes a sequential program structurally.
+func seqKey(s *Sequential) string {
+	return fmt.Sprintf("%d|%v|%v", s.W0, s.P, s.Beta)
 }
 
 func TestFunctionKeyDistinguishes(t *testing.T) {

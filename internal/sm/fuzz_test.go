@@ -1,0 +1,161 @@
+package sm
+
+import (
+	"testing"
+)
+
+// Fuzz targets for the Theorem 3.7 conversion round-trips: arbitrary
+// bytes decode to small programs, which then ride the same conversion
+// cycles the bounded model checker (internal/mc) verifies exhaustively —
+// fuzzing extends that coverage to program shapes outside the enumerated
+// bounds (more states, larger moduli and thresholds). Seed corpora live
+// under testdata/fuzz; run with
+//
+//	go test ./internal/sm -fuzz FuzzSequentialRoundTrip
+//	go test ./internal/sm -fuzz FuzzModThreshRoundTrip
+
+// decodeSequential derives a small sequential program from fuzz bytes:
+// header (alphabet sizes) then transition table, outputs, start state.
+func decodeSequential(data []byte) (*Sequential, bool) {
+	if len(data) < 4 {
+		return nil, false
+	}
+	numQ := int(data[0])%2 + 1 // 1..2
+	numW := int(data[1])%4 + 1 // 1..4
+	numR := int(data[2])%3 + 1 // 1..3
+	need := 4 + numW*numQ + numW
+	if len(data) < need {
+		return nil, false
+	}
+	s := &Sequential{NumQ: numQ, NumR: numR, W0: int(data[3]) % numW, P: make([][]int, numW), Beta: make([]int, numW)}
+	i := 4
+	for w := 0; w < numW; w++ {
+		s.P[w] = make([]int, numQ)
+		for q := 0; q < numQ; q++ {
+			s.P[w][q] = int(data[i]) % numW
+			i++
+		}
+	}
+	for w := 0; w < numW; w++ {
+		s.Beta[w] = int(data[i]) % numR
+		i++
+	}
+	return s, true
+}
+
+// decodeModThresh derives a small mod-thresh program from fuzz bytes:
+// header, then per-clause (atom kind, state, parameter, negation, result).
+func decodeModThresh(data []byte) (*ModThresh, bool) {
+	if len(data) < 3 {
+		return nil, false
+	}
+	numQ := int(data[0])%2 + 1 // 1..2
+	numR := int(data[1])%3 + 1 // 1..3
+	nClauses := int(data[2]) % 4
+	need := 3 + 5*nClauses + 1
+	if len(data) < need {
+		return nil, false
+	}
+	m := &ModThresh{NumQ: numQ, NumR: numR}
+	i := 3
+	for c := 0; c < nClauses; c++ {
+		state := int(data[i]) % numQ
+		var p Prop
+		if data[i+1]%2 == 0 {
+			p = ThreshAtom{State: state, T: int(data[i+2])%4 + 1} // t in 1..4
+		} else {
+			mod := int(data[i+2])%3 + 2 // m in 2..4
+			p = ModAtom{State: state, Rem: int(data[i+1]/2) % mod, Mod: mod}
+		}
+		if data[i+3]%2 == 1 {
+			p = Not{P: p}
+		}
+		m.Clauses = append(m.Clauses, Clause{Cond: p, Result: int(data[i+4]) % numR})
+		i += 5
+	}
+	m.Default = int(data[i]) % numR
+	return m, true
+}
+
+// FuzzSequentialRoundTrip checks, for every decodable program: the exact
+// symmetry checker agrees with brute force (length 2n suffices — n-1
+// letters to reach a state, 2 to swap, n-1 to distinguish), and every
+// symmetric program survives the sequential -> mod-thresh -> parallel ->
+// sequential cycle with its function intact.
+func FuzzSequentialRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 0, 1, 0, 1, 0, 0, 1})                   // 2-state OR-like program
+	f.Add([]byte{1, 1, 1, 0, 1, 1, 0, 0, 0, 1})                   // parity
+	f.Add([]byte{0, 2, 0, 0, 1, 2, 2, 0, 1, 2})                   // 3-state counter
+	f.Add([]byte{1, 3, 2, 1, 1, 2, 3, 0, 2, 1, 0, 1, 2, 0, 1, 2}) // 4-state, 2 letters
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, ok := decodeSequential(data)
+		if !ok {
+			t.Skip()
+		}
+		n := len(s.P)
+		exact := CheckSequential(s) == nil
+		if brute := BruteCheckSequential(s, 2*n) == nil; exact != brute {
+			t.Fatalf("checker mismatch: exact=%v brute=%v for %+v", exact, brute, s)
+		}
+		if !exact {
+			return
+		}
+		mt, err := SequentialToModThresh(s)
+		if err != nil {
+			t.Fatalf("SequentialToModThresh(%+v): %v", s, err)
+		}
+		if err := Equivalent(s, mt, s.NumQ, 6); err != nil {
+			t.Fatalf("seq != mod-thresh: %v for %+v", err, s)
+		}
+		p, err := ModThreshToParallel(mt)
+		if err != nil {
+			t.Fatalf("ModThreshToParallel: %v for %+v", err, s)
+		}
+		s2, err := ParallelToSequential(p)
+		if err != nil {
+			t.Fatalf("ParallelToSequential: %v for %+v", err, s)
+		}
+		if err := Equivalent(s, s2, s.NumQ, 6); err != nil {
+			t.Fatalf("round trip changed function: %v for %+v", err, s)
+		}
+	})
+}
+
+// FuzzModThreshRoundTrip checks that every decodable mod-thresh program
+// survives mod-thresh -> parallel -> sequential with its function intact
+// and with the converted programs accepted by the exact checkers.
+func FuzzModThreshRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 1})                               // clause-free, default only
+	f.Add([]byte{1, 1, 1, 0, 0, 2, 0, 1, 0})                // one threshold clause
+	f.Add([]byte{1, 1, 1, 1, 1, 2, 1, 0, 0})                // one mod clause, negated
+	f.Add([]byte{1, 2, 2, 0, 1, 1, 0, 1, 1, 3, 2, 1, 0, 1}) // two mixed clauses
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, ok := decodeModThresh(data)
+		if !ok {
+			t.Skip()
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("decoder produced invalid program %+v: %v", m, err)
+		}
+		p, err := ModThreshToParallel(m)
+		if err != nil {
+			t.Skip() // counter space over the conversion's size guard
+		}
+		if err := CheckParallel(p); err != nil {
+			t.Fatalf("converted parallel not SM: %v for %+v", err, m)
+		}
+		if err := Equivalent(m, p, m.NumQ, 5); err != nil {
+			t.Fatalf("mod-thresh != parallel: %v for %+v", err, m)
+		}
+		s, err := ParallelToSequential(p)
+		if err != nil {
+			t.Fatalf("ParallelToSequential: %v for %+v", err, m)
+		}
+		if err := CheckSequential(s); err != nil {
+			t.Fatalf("converted sequential not SM: %v for %+v", err, m)
+		}
+		if err := Equivalent(m, s, m.NumQ, 5); err != nil {
+			t.Fatalf("mod-thresh != sequential: %v for %+v", err, m)
+		}
+	})
+}

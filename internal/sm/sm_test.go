@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/testutil"
 )
 
 // orSequential returns the hand-built sequential program for "1 if any
@@ -134,7 +136,7 @@ func TestCheckSequentialMatchesBruteForce(t *testing.T) {
 		// so only the acceptance direction is checked here.
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 132, 60)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -145,7 +147,7 @@ func TestCheckSequentialAcceptsCounterMachines(t *testing.T) {
 		s := RandomCounterSequential(1+rng.Intn(3), 2+rng.Intn(3), 4, 3, rng)
 		return CheckSequential(s) == nil && BruteCheckSequential(s, 5) == nil
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 133, 40)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -193,7 +195,7 @@ func TestCheckParallelAcceptsMonoids(t *testing.T) {
 		p := RandomCommutativeMonoidParallel(1+rng.Intn(3), 2+rng.Intn(3), 4, 3, rng)
 		return CheckParallel(p) == nil
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 134, 40)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -213,7 +215,7 @@ func TestCheckParallelMatchesBruteForce(t *testing.T) {
 		// direction is one-sided here.
 		return true
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 135, 50)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/testutil"
 )
 
 func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
@@ -141,7 +143,7 @@ func TestLinearFitNoisyProperty(t *testing.T) {
 		f := LinearFit(xs, ys)
 		return approx(f.Slope, slope, 0.01) && f.R2 >= 0 && f.R2 <= 1+1e-9
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+	if err := quick.Check(prop, testutil.QuickN(t, 136, 30)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,8 +1,9 @@
 #!/bin/sh
 # Tier-1 verification for the repo (see ROADMAP.md): build, vet, full
-# tests, then the race detector over the execution engine and the
-# algorithm layer — the packages with goroutine-parallel rounds and the
-# serial/parallel determinism invariant.
+# tests under the coverage ratchet, the race detector over the execution
+# engine and the algorithm layer — the packages with goroutine-parallel
+# rounds and the serial/parallel determinism invariant — and the chaos
+# and model-checker smoke gates.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -20,8 +21,8 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
-echo "== go test ./..."
-go test ./...
+echo "== go test -cover ./... (coverage ratchet)"
+./scripts/coverage.sh
 
 echo "== go test -race ./internal/fssga/... ./internal/algo/..."
 go test -race ./internal/fssga/... ./internal/algo/...
@@ -31,5 +32,8 @@ go test -race ./internal/chaos/... ./internal/faults/...
 
 echo "== chaos smoke campaign"
 go run ./cmd/fssga-chaos -smoke -out "$(mktemp -d)"
+
+echo "== model checker smoke"
+go run ./cmd/fssga-mc -smoke -out "$(mktemp -d)"
 
 echo "OK"
