@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test cover race chaos-race chaos-smoke mc-smoke bench perf
+.PHONY: check build test cover lint race chaos-race chaos-smoke mc-smoke bench perf
 
 # Tier-1 verify path (ROADMAP.md): gofmt + build + vet + tests + race.
 check:
@@ -16,6 +16,12 @@ test:
 # per-package floors in scripts/coverage_ratchet.txt.
 cover:
 	./scripts/coverage.sh
+
+# Determinism and symmetry static analyzers (internal/analysis) via the
+# fssga-vet multichecker. Exit 1 on any finding not carrying an audited
+# //fssga:nondet directive.
+lint:
+	$(GO) run ./cmd/fssga-vet repro/...
 
 # Race detector over the engine and algorithm layers — the packages with
 # goroutine-parallel rounds and per-worker scratch.

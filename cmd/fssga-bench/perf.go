@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strconv"
 	"testing"
 	"time"
 
@@ -154,7 +155,7 @@ func runPerf(seed int64, outPath string) error {
 
 	report := perfReport{
 		Schema:     "fssga-bench/perf/v1",
-		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Generated:  benchTimestamp(),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Seed:       seed,
@@ -170,4 +171,18 @@ func runPerf(seed int64, outPath string) error {
 	}
 	fmt.Fprintf(os.Stderr, "fssga-bench: wrote %d series to %s\n", len(results), outPath)
 	return nil
+}
+
+// benchTimestamp returns the report's generation timestamp. Honouring
+// SOURCE_DATE_EPOCH (the reproducible-build convention) makes the whole
+// BENCH_*.json artifact byte-reproducible when the caller pins it; the
+// wall clock is only the interactive fallback.
+func benchTimestamp() string {
+	if s := os.Getenv("SOURCE_DATE_EPOCH"); s != "" {
+		if sec, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return time.Unix(sec, 0).UTC().Format(time.RFC3339)
+		}
+	}
+	//fssga:nondet artifact metadata only; replay and digests never read the report timestamp
+	return time.Now().UTC().Format(time.RFC3339)
 }

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// The perf report timestamp must honour SOURCE_DATE_EPOCH so BENCH_*.json
+// artifacts are byte-reproducible when the caller pins the build time.
+func TestBenchTimestampReproducible(t *testing.T) {
+	t.Setenv("SOURCE_DATE_EPOCH", "1700000000")
+	want := time.Unix(1700000000, 0).UTC().Format(time.RFC3339)
+	if got := benchTimestamp(); got != want {
+		t.Fatalf("benchTimestamp() = %q, want %q", got, want)
+	}
+	if got := benchTimestamp(); got != want {
+		t.Fatalf("pinned timestamp not stable: %q", got)
+	}
+	t.Setenv("SOURCE_DATE_EPOCH", "not-a-number")
+	if benchTimestamp() == "" {
+		t.Fatal("malformed SOURCE_DATE_EPOCH must fall back, not return empty")
+	}
+}

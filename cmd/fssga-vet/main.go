@@ -1,0 +1,215 @@
+// Command fssga-vet runs the repository's determinism and symmetry
+// analyzers (detrand, maporder, viewpure, seedplumb, globalwrite) over
+// Go packages. It has two modes:
+//
+// Standalone, over go package patterns (the default is ./...):
+//
+//	fssga-vet [-json] [-analyzers detrand,maporder] [patterns...]
+//	fssga-vet -fixtures internal/analysis/testdata/src detrand
+//
+// As a go vet tool, speaking the cmd/go vet-tool protocol (-V=full,
+// -flags, and a single JSON .cfg argument per unit):
+//
+//	go vet -vettool=$(which fssga-vet) ./...
+//
+// Exit status: 0 when clean, 1 when the analyzers report findings,
+// 2 when loading or type-checking fails.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+const progName = "fssga-vet"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	// The go command invokes vet tools positionally, before any of our
+	// own flags: `tool -V=full`, `tool -flags`, `tool <unit>.cfg`.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "--V=full":
+			fmt.Fprintf(stdout, "%s version v1, deterministic build\n", progName)
+			return 0
+		case args[0] == "-flags" || args[0] == "--flags":
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		case strings.HasSuffix(args[0], ".cfg"):
+			return runVettool(args[0], stderr)
+		}
+	}
+
+	fs := flag.NewFlagSet(progName, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	names := fs.String("analyzers", "", "comma-separated subset of analyzers (default: all)")
+	fixtureRoot := fs.String("fixtures", "", "treat patterns as fixture package names under this directory")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: %s [-json] [-analyzers names] [-fixtures dir] [patterns]\n\nAnalyzers:\n", progName)
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers, err := analysis.Lookup(*names)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	loader := analysis.NewLoader("")
+	var units []*analysis.Unit
+	if *fixtureRoot != "" {
+		loader.FixtureRoot = *fixtureRoot
+		for _, p := range fs.Args() {
+			u, err := loader.LoadFixture(p)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			units = append(units, u)
+		}
+	} else {
+		patterns := fs.Args()
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		units, err = loader.LoadPatterns(patterns...)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+
+	findings, err := analysis.RunAnalyzers(units, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the subset of cmd/go's vet-tool JSON configuration the
+// driver needs: one type-checkable unit with pre-resolved imports.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// lookup opens the export data for an import path as the compiler
+// recorded it for this unit.
+func (c *vetConfig) lookup(path string) (io.ReadCloser, error) {
+	if mapped, ok := c.ImportMap[path]; ok {
+		path = mapped
+	}
+	file, ok := c.PackageFile[path]
+	if !ok {
+		return nil, fmt.Errorf("no package file for %q in unit %s", path, c.ImportPath)
+	}
+	return os.Open(file)
+}
+
+// writeVetx records the (empty) facts file the go command expects from a
+// vet tool; fssga-vet's analyzers are fact-free.
+func (c *vetConfig) writeVetx() error {
+	if c.VetxOutput == "" {
+		return nil
+	}
+	return os.WriteFile(c.VetxOutput, []byte(progName+" no facts\n"), 0o666)
+}
+
+func runVettool(cfgPath string, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "%s: parsing %s: %v\n", progName, cfgPath, err)
+		return 2
+	}
+	if cfg.VetxOnly {
+		// Dependency-only visit: no diagnostics wanted, just facts.
+		if err := cfg.writeVetx(); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		return 0
+	}
+	if cfg.Compiler != "" && cfg.Compiler != "gc" {
+		fmt.Fprintf(stderr, "%s: unsupported compiler %q\n", progName, cfg.Compiler)
+		return 2
+	}
+	fset := token.NewFileSet()
+	unit, err := analysis.CheckFiles(fset, cfg.ImportPath, cfg.GoFiles, importer.ForCompiler(fset, "gc", cfg.lookup))
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// The compile step will report the error; stay quiet.
+			if werr := cfg.writeVetx(); werr != nil {
+				fmt.Fprintln(stderr, werr)
+				return 2
+			}
+			return 0
+		}
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	findings, err := analysis.RunAnalyzers([]*analysis.Unit{unit}, analysis.All())
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if err := cfg.writeVetx(); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stderr, f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

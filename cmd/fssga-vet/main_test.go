@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+const fixtureRoot = "../../internal/analysis/testdata/src"
+
+// The committed tree must be clean: every violation the suite ever found
+// is fixed or carries an audited //fssga:nondet directive.
+func TestCleanTreeExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"repro/..."}, &out, &errb); code != 0 {
+		t.Fatalf("fssga-vet repro/... = exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("clean tree produced findings:\n%s", out.String())
+	}
+}
+
+func TestKnownBadFixtureExitsOne(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-fixtures", fixtureRoot, "detrand"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "detrand: time.Now reads the wall clock") {
+		t.Fatalf("findings missing detrand diagnostic:\n%s", out.String())
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "-fixtures", fixtureRoot, "maporder"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, errb.String())
+	}
+	var findings []analysis.Finding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("decoding -json output: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("-json produced an empty findings array for a known-bad fixture")
+	}
+	for _, f := range findings {
+		if f.File == "" || f.Line <= 0 || f.Col <= 0 || f.Analyzer != "maporder" || f.Message == "" {
+			t.Fatalf("incomplete finding: %+v", f)
+		}
+	}
+}
+
+func TestJSONEmptyArrayOnClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	// The detrand fixture is clean under maporder, so the filter must
+	// yield exit 0 and a JSON empty array, not null.
+	code := run([]string{"-json", "-analyzers", "maporder", "-fixtures", fixtureRoot, "detrand"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Fatalf("clean -json output = %q, want []", got)
+	}
+}
+
+func TestUnknownAnalyzerExitsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-analyzers", "bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "bogus") {
+		t.Fatalf("error does not name the unknown analyzer:\n%s", errb.String())
+	}
+}
+
+func TestVetToolProtocolEntryPoints(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-V=full"}, &out, &errb); code != 0 {
+		t.Fatalf("-V=full exit %d", code)
+	}
+	if !strings.HasPrefix(out.String(), "fssga-vet version") {
+		t.Fatalf("-V=full output %q lacks the version prefix the go command requires", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-flags"}, &out, &errb); code != 0 {
+		t.Fatalf("-flags exit %d", code)
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Fatalf("-flags output = %q, want []", out.String())
+	}
+}
+
+// End-to-end: build the binary and run it under `go vet -vettool` on two
+// real (clean) packages, exercising the .cfg unit protocol.
+func TestGoVetVettool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and shells out to go vet")
+	}
+	tool := filepath.Join(t.TempDir(), "fssga-vet")
+	if out, err := exec.Command("go", "build", "-o", tool, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "repro/internal/baseline", "repro/internal/stats")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool: %v\n%s", err, out)
+	}
+}

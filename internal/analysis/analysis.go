@@ -1,0 +1,250 @@
+// Package analysis is a small, dependency-free static-analysis framework
+// in the spirit of golang.org/x/tools/go/analysis, together with the five
+// fssga-vet analyzers that prove this repository's determinism and
+// symmetry contracts at the source level:
+//
+//   - detrand: no wall-clock or process-global randomness in
+//     determinism-critical packages (replay digests depend on it);
+//   - maporder: no map-iteration order leaking into slices, writers or
+//     digests without an intervening sort;
+//   - viewpure: FSSGA transition functions treat their View as a
+//     read-only, non-retainable observation ("nodes read neighbour
+//     states, write only their own", Pritchard & Vempala Section 2);
+//   - seedplumb: test files pin their randomness (testing/quick configs
+//     come from internal/testutil, no time-seeded or global RNGs);
+//   - globalwrite: no writes to package-level variables reachable from
+//     the parallel engine's worker entry points (Automaton.Step and `go`
+//     bodies), which would race under SyncRoundParallel.
+//
+// The framework loads and type-checks packages with the standard library
+// only (go/parser + go/types, imports resolved through `go list -export`
+// export data with a source-importer fallback), so it runs in hermetic
+// build environments where golang.org/x/tools is unavailable.
+//
+// A diagnostic at a call site that has been audited and found safe is
+// suppressed by the directive comment
+//
+//	//fssga:nondet <reason>
+//
+// placed on the flagged line or the line directly above it. The reason is
+// free text but should say why the site cannot desynchronize a replay.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant-checking pass.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and -analyzers filters.
+	Name string
+
+	// Doc is a one-paragraph description of the contract the pass proves.
+	Doc string
+
+	// AppliesTo, if non-nil, restricts the packages the driver runs this
+	// pass over (it receives the unit's import path). analysistest
+	// bypasses the filter so fixtures exercise passes directly.
+	AppliesTo func(pkgPath string) bool
+
+	// Run executes the pass over one type-checked unit, reporting
+	// findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// A Pass connects an Analyzer to one type-checked unit of source code.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Path     string // import path of the unit
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// Report delivers one diagnostic. The driver applies //fssga:nondet
+	// suppression and ordering; passes just report everything they find.
+	Report func(d Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, positioned within the unit's FileSet.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Finding is a resolved diagnostic as emitted by the driver: position
+// translated to file/line/column, tagged with the analyzer that found it.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// NondetDirective is the allowlist comment that suppresses a finding on
+// its own line or the line below.
+const NondetDirective = "//fssga:nondet"
+
+// suppressedLines maps filename -> set of line numbers carrying the
+// directive.
+func suppressedLines(fset *token.FileSet, files []*ast.File) map[string]map[int]bool {
+	sup := make(map[string]map[int]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, NondetDirective) {
+					continue
+				}
+				rest := c.Text[len(NondetDirective):]
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //fssga:nondeterministic — not the directive
+				}
+				pos := fset.Position(c.Pos())
+				m := sup[pos.Filename]
+				if m == nil {
+					m = make(map[int]bool)
+					sup[pos.Filename] = m
+				}
+				m[pos.Line] = true
+			}
+		}
+	}
+	return sup
+}
+
+// RunAnalyzers executes the analyzers over the units, honouring each
+// analyzer's AppliesTo filter and the //fssga:nondet directive, and
+// returns all surviving findings sorted by file, line, column, analyzer.
+func RunAnalyzers(units []*Unit, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, u := range units {
+		sup := suppressedLines(u.Fset, u.Files)
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(u.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     u.Fset,
+				Files:    u.Files,
+				Path:     u.Path,
+				Pkg:      u.Pkg,
+				Info:     u.Info,
+			}
+			pass.Report = func(d Diagnostic) {
+				pos := u.Fset.Position(d.Pos)
+				if m := sup[pos.Filename]; m != nil && (m[pos.Line] || m[pos.Line-1]) {
+					return
+				}
+				findings = append(findings, Finding{
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Analyzer: a.Name,
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, u.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// All returns the full fssga-vet suite in a fixed order.
+func All() []*Analyzer {
+	return []*Analyzer{Detrand, Maporder, Viewpure, Seedplumb, Globalwrite}
+}
+
+// Lookup resolves a comma-separated analyzer list ("detrand,maporder")
+// against the suite, preserving suite order.
+func Lookup(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	want := make(map[string]bool)
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		want[n] = true
+	}
+	var out []*Analyzer
+	for _, a := range All() {
+		if want[a.Name] {
+			out = append(out, a)
+			delete(want, a.Name)
+		}
+	}
+	if len(want) > 0 {
+		var unknown []string
+		for n := range want {
+			unknown = append(unknown, n)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("analysis: unknown analyzer(s) %s", strings.Join(unknown, ", "))
+	}
+	return out, nil
+}
+
+// DeterminismCritical reports whether a package participates in the
+// determinism contract: everything in the module except the analyzers
+// themselves and the examples. The replay-critical core (internal/fssga,
+// internal/mc, internal/chaos, internal/trace, internal/algo/...) is the
+// motivating set; the remaining library and cmd packages feed artifacts
+// and logs that replay verification also consumes, so they are held to
+// the same standard.
+func DeterminismCritical(path string) bool {
+	// Canonicalize the unit variants the go vet driver presents:
+	// "pkg [pkg.test]" (test build of pkg) and "pkg_test" (external test
+	// package) are governed by pkg's classification.
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	path = strings.TrimSuffix(path, "_test")
+	if !strings.HasPrefix(path, "repro") {
+		return true // fixtures and external callers opt in wholesale
+	}
+	for _, skip := range []string{"repro/internal/analysis", "repro/examples"} {
+		if path == skip || strings.HasPrefix(path, skip+"/") {
+			return false
+		}
+	}
+	return true
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}

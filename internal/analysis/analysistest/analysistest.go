@@ -1,0 +1,108 @@
+// Package analysistest runs an Analyzer over a source fixture and
+// checks its diagnostics against `// want "regexp"` comments embedded in
+// the fixture, in the style of golang.org/x/tools/go/analysis/analysistest
+// but built on the repository's stdlib-only analysis framework.
+//
+// A want comment expects one diagnostic on its line; several quoted
+// regexps expect several diagnostics on the same line. Diagnostics
+// suppressed by //fssga:nondet must have no want comment — an unexpected
+// diagnostic is a test failure, which is how the suppression path is
+// pinned.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// DefaultFixtureRoot is where fixtures live, relative to the test's
+// working directory (the package directory under go test).
+const DefaultFixtureRoot = "testdata/src"
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package from DefaultFixtureRoot and checks the
+// analyzer's findings against the fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, fixtures ...string) {
+	t.Helper()
+	loader := analysis.NewLoader("")
+	loader.FixtureRoot = DefaultFixtureRoot
+	for _, fx := range fixtures {
+		unit, err := loader.LoadFixture(fx)
+		if err != nil {
+			t.Fatalf("loading fixture %q: %v", fx, err)
+		}
+		findings, err := analysis.RunAnalyzers([]*analysis.Unit{unit}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s over %q: %v", a.Name, fx, err)
+		}
+		wants, err := collectWants(unit)
+		if err != nil {
+			t.Fatalf("fixture %q: %v", fx, err)
+		}
+		for _, f := range findings {
+			if !claim(wants, f) {
+				t.Errorf("%s: unexpected diagnostic: %s", fx, f)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s: missing diagnostic at %s:%d matching %q", fx, filepath.Base(w.file), w.line, w.re)
+			}
+		}
+	}
+}
+
+// claim marks the first unmatched expectation satisfied by f.
+func claim(wants []*expectation, f analysis.Finding) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == f.File && w.line == f.Line && w.re.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantToken extracts quoted or backquoted strings from a want comment.
+var wantToken = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func collectWants(unit *analysis.Unit) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range unit.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//") {
+					continue
+				}
+				body := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(body, "want ") {
+					continue
+				}
+				pos := unit.Fset.Position(c.Pos())
+				for _, tok := range wantToken.FindAllString(body[len("want "):], -1) {
+					pat, err := strconv.Unquote(tok)
+					if err != nil {
+						return nil, err
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, err
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}

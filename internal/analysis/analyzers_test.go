@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestDetrand(t *testing.T) { analysistest.Run(t, analysis.Detrand, "detrand") }
+
+func TestMaporder(t *testing.T) { analysistest.Run(t, analysis.Maporder, "maporder") }
+
+func TestViewpure(t *testing.T) {
+	analysistest.Run(t, analysis.Viewpure, "viewpure", "viewpure_real")
+}
+
+func TestSeedplumb(t *testing.T) { analysistest.Run(t, analysis.Seedplumb, "seedplumb") }
+
+func TestGlobalwrite(t *testing.T) { analysistest.Run(t, analysis.Globalwrite, "globalwrite") }

@@ -1,0 +1,81 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// analyzeSynthetic type-checks src as a single-file package under the
+// given import path (imports resolved through export data) and runs the
+// full suite over it. This simulates editing a real module package
+// without touching the tree.
+func analyzeSynthetic(t *testing.T, importPath, src string) []analysis.Finding {
+	t.Helper()
+	file := filepath.Join(t.TempDir(), "x.go")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := analysis.NewLoader("")
+	unit, err := analysis.CheckFiles(l.Fset, importPath, []string{file}, l)
+	if err != nil {
+		t.Fatalf("CheckFiles: %v", err)
+	}
+	findings, err := analysis.RunAnalyzers([]*analysis.Unit{unit}, analysis.All())
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	return findings
+}
+
+// Acceptance pin: a bare time.Now() added to internal/fssga must fail
+// the lint gate.
+func TestInjectedTimeNowInFssgaIsFlagged(t *testing.T) {
+	findings := analyzeSynthetic(t, "repro/internal/fssga", `package fssga
+
+import "time"
+
+func stamp() int64 { return time.Now().UnixNano() }
+`)
+	if len(findings) != 1 || findings[0].Analyzer != "detrand" {
+		t.Fatalf("findings = %v, want exactly one detrand diagnostic", findings)
+	}
+}
+
+// Acceptance pin: removing the sort after a map-range accumulation must
+// fail the lint gate, while the sorted original stays clean (the
+// false-positive guard).
+func TestSortRemovalBeforeMapRangeIsFlagged(t *testing.T) {
+	const sorted = `package fssga
+
+import "sort"
+
+func keys(m map[int]int) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+`
+	if findings := analyzeSynthetic(t, "repro/internal/fssga", sorted); len(findings) != 0 {
+		t.Fatalf("sorted map-range wrongly flagged: %v", findings)
+	}
+	const unsorted = `package fssga
+
+func keys(m map[int]int) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+`
+	findings := analyzeSynthetic(t, "repro/internal/fssga", unsorted)
+	if len(findings) != 1 || findings[0].Analyzer != "maporder" {
+		t.Fatalf("findings = %v, want exactly one maporder diagnostic", findings)
+	}
+}

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Seedplumb enforces seed plumbing in test files: testing/quick configs
+// must come from internal/testutil (Quick/QuickN pin and log the seed so
+// a failing property test replays exactly), tests must not draw from the
+// process-global math/rand functions, and RNG sources must not be seeded
+// from the wall clock. This turns the seed-pinning convention the test
+// suites already follow into an enforced contract.
+var Seedplumb = &Analyzer{
+	Name:      "seedplumb",
+	Doc:       "test files must obtain pinned RNGs: quick configs via testutil, no global or time-seeded rand",
+	AppliesTo: DeterminismCritical,
+	Run:       runSeedplumb,
+}
+
+// testutilPkg reports whether path is the test-helper package providing
+// the pinned quick.Config constructors.
+func testutilPkg(path string) bool {
+	return path == "repro/internal/testutil" || path == "testutil" || strings.HasSuffix(path, "/testutil")
+}
+
+func runSeedplumb(pass *Pass) error {
+	for _, f := range pass.Files {
+		if !IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if isQuickConfig(pass.Info, n) {
+					pass.Reportf(n.Pos(), "quick.Config constructed literally; use testutil.Quick/QuickN so the seed is pinned and logged on failure")
+				}
+			case *ast.CallExpr:
+				checkSeedplumbCall(pass, f, n)
+			case *ast.SelectorExpr:
+				if fn, ok := pass.Info.Uses[n.Sel].(*types.Func); ok && fn.Pkg() != nil {
+					p := fn.Pkg().Path()
+					if (p == "math/rand" || p == "math/rand/v2") && fn.Type().(*types.Signature).Recv() == nil && !strings.HasPrefix(fn.Name(), "New") {
+						pass.Reportf(n.Pos(), "global %s.%s in a test is unreproducible; derive a *rand.Rand from a pinned seed", p, fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isQuickConfig reports whether cl constructs testing/quick.Config.
+func isQuickConfig(info *types.Info, cl *ast.CompositeLit) bool {
+	t := info.TypeOf(cl)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Config" && obj.Pkg() != nil && obj.Pkg().Path() == "testing/quick"
+}
+
+func checkSeedplumbCall(pass *Pass, file *ast.File, call *ast.CallExpr) {
+	fn, pkg := pkgLevelFunc(pass.Info, call)
+	if fn == nil {
+		return
+	}
+	switch {
+	case pkg == "testing/quick" && (fn.Name() == "Check" || fn.Name() == "CheckEqual"):
+		cfg := call.Args[len(call.Args)-1]
+		checkQuickConfigArg(pass, file, cfg)
+	case (pkg == "math/rand" || pkg == "math/rand/v2") &&
+		(fn.Name() == "NewSource" || fn.Name() == "NewPCG" || fn.Name() == "NewChaCha8"):
+		// A seed-taking constructor fed from the wall clock is the
+		// classic unreproducible-test pattern.
+		for _, arg := range call.Args {
+			if containsCallTo(pass.Info, arg, "time", "Now") {
+				pass.Reportf(call.Pos(), "%s.%s seeded from time.Now; pin a constant seed so the test replays", pkg, fn.Name())
+				return
+			}
+		}
+	}
+}
+
+// checkQuickConfigArg validates the config argument of quick.Check /
+// quick.CheckEqual: it must be a call to testutil.Quick/QuickN, or a
+// variable assigned from one. Composite literals are flagged by the
+// CompositeLit rule, so here nil and non-testutil calls are the targets.
+func checkQuickConfigArg(pass *Pass, file *ast.File, cfg ast.Expr) {
+	switch cfg := unparen(cfg).(type) {
+	case *ast.Ident:
+		if cfg.Name == "nil" {
+			pass.Reportf(cfg.Pos(), "quick.Check with a nil config uses testing/quick's time-seeded RNG; pass testutil.Quick(t, seed)")
+			return
+		}
+		obj := pass.Info.ObjectOf(cfg)
+		if obj == nil {
+			return
+		}
+		if rhs := findAssignedValue(pass.Info, file, obj); rhs != nil {
+			if !isTestutilQuickCall(pass.Info, rhs) {
+				if _, isLit := unparen(rhs).(*ast.UnaryExpr); isLit {
+					return // &quick.Config{...}: composite rule already flagged it
+				}
+				if _, isComposite := unparen(rhs).(*ast.CompositeLit); isComposite {
+					return
+				}
+				pass.Reportf(cfg.Pos(), "quick config %q does not come from testutil.Quick/QuickN; the seed is not pinned", cfg.Name)
+			}
+		}
+	case *ast.UnaryExpr, *ast.CompositeLit:
+		// Flagged by the CompositeLit rule.
+	case *ast.CallExpr:
+		if !isTestutilQuickCall(pass.Info, cfg) {
+			pass.Reportf(cfg.Pos(), "quick config does not come from testutil.Quick/QuickN; the seed is not pinned")
+		}
+	}
+}
+
+// isTestutilQuickCall reports whether e is a call to testutil.Quick or
+// testutil.QuickN (possibly through method chaining on the result).
+func isTestutilQuickCall(info *types.Info, e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, pkg := pkgLevelFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	return testutilPkg(pkg) && (fn.Name() == "Quick" || fn.Name() == "QuickN")
+}
+
+// findAssignedValue locates the expression most recently assigned to obj
+// within the file (declaration or := / = assignment), syntactically.
+func findAssignedValue(info *types.Info, file *ast.File, obj types.Object) ast.Expr {
+	var rhs ast.Expr
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, l := range n.Lhs {
+				if id, ok := l.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+					rhs = n.Rhs[i]
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) != len(n.Values) {
+				return true
+			}
+			for i, name := range n.Names {
+				if info.ObjectOf(name) == obj {
+					rhs = n.Values[i]
+				}
+			}
+		}
+		return true
+	})
+	return rhs
+}

@@ -1,0 +1,39 @@
+// Fixture for the detrand analyzer: wall-clock reads, process-global
+// math/rand, crypto/rand, the //fssga:nondet suppression path, and the
+// sanctioned seeded-stream pattern.
+package detrand
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+var _ time.Duration // type references to package time are fine
+
+func Bad() {
+	t0 := time.Now()   // want `time.Now reads the wall clock`
+	_ = time.Since(t0) // want `time.Since reads the wall clock`
+	rand.Seed(42)      // want `global math/rand.Seed draws from the process-wide RNG`
+	_ = rand.Intn(10)  // want `global math/rand.Intn draws from the process-wide RNG`
+	_ = rand.Float64() // want `global math/rand.Float64 draws from the process-wide RNG`
+	buf := make([]byte, 8)
+	_, _ = crand.Read(buf) // want `crypto/rand.Read is inherently nondeterministic`
+}
+
+// Good uses the sanctioned seeded-stream pattern: rand.New/NewSource are
+// never flagged, nor are methods on the resulting stream.
+func Good(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	time.Sleep(0) // Sleep does not read the clock into program state
+	return rng.Intn(10)
+}
+
+// Audited reads the wall clock for artifact metadata only; both
+// directive placements (line above, same line) must suppress.
+func Audited() (time.Time, time.Time) {
+	//fssga:nondet artifact timestamp, never enters a replayed computation
+	a := time.Now()
+	b := time.Now() //fssga:nondet same audit
+	return a, b
+}

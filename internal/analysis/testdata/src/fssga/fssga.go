@@ -1,0 +1,42 @@
+// Package fssga is a miniature stand-in for repro/internal/fssga used by
+// analysis fixtures. It mirrors the View observation API by name and adds
+// deliberately unsafe extras (an exported field and a mutating method) so
+// the viewpure fixtures can exercise diagnostics the real View cannot
+// trigger from outside its package.
+package fssga
+
+// View mimics the engine's neighbourhood observation.
+type View[S comparable] struct {
+	Total int // exported so fixtures can attempt field writes
+}
+
+func (v *View[S]) Empty() bool { return v.Total == 0 }
+
+func (v *View[S]) DegreeCapped(cap int) int {
+	if v.Total > cap {
+		return cap
+	}
+	return v.Total
+}
+
+func (v *View[S]) CountState(q S, cap int) int { return 0 }
+
+func (v *View[S]) Count(cap int, pred func(S) bool) int { return 0 }
+
+func (v *View[S]) CountMod(m int, pred func(S) bool) int { return 0 }
+
+func (v *View[S]) Any(pred func(S) bool) bool { return false }
+
+func (v *View[S]) AnyState(q S) bool { return false }
+
+func (v *View[S]) None(pred func(S) bool) bool { return true }
+
+func (v *View[S]) All(pred func(S) bool) bool { return true }
+
+func (v *View[S]) Exactly(k int, pred func(S) bool) bool { return k == 0 }
+
+func (v *View[S]) ForEach(f func(state S, count int)) {}
+
+// Reset is NOT part of the observation API; calling it from a transition
+// function must be flagged by viewpure.
+func (v *View[S]) Reset() { v.Total = 0 }

@@ -1,0 +1,125 @@
+// Fixture for the maporder analyzer: map-iteration order leaking into
+// slices, strings, writers, encoders, digests and fmt output — and the
+// sanctioned collect-then-sort patterns that must NOT be flagged.
+package maporder
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"sort"
+
+	"slices"
+)
+
+func BadAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `slice "keys" accumulates map-iteration order`
+	}
+	return keys
+}
+
+func BadWriter(m map[string]int, buf *bytes.Buffer) {
+	for k := range m {
+		buf.WriteString(k) // want `map iteration feeds ordered sink buf.WriteString`
+	}
+}
+
+func BadDigest(m map[int][]byte, h hash.Hash) {
+	for _, b := range m {
+		h.Write(b) // want `map iteration feeds ordered sink h.Write`
+	}
+}
+
+func BadEncoder(m map[string]int, enc *json.Encoder) {
+	for k, v := range m {
+		_ = enc.Encode([2]any{k, v}) // want `map iteration feeds ordered sink enc.Encode`
+	}
+}
+
+func BadPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `map iteration emits output via fmt.Println`
+	}
+}
+
+func BadConcat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `string "s" concatenates in map-iteration order`
+	}
+	return s
+}
+
+// GoodSorted collects then sorts: the canonical sanctioned pattern.
+func GoodSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodSortSlice sorts through sort.Slice, passing the slice as an arg.
+func GoodSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// GoodSlicesSort sorts via the slices package.
+func GoodSlicesSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// GoodCount accumulates order-independent aggregates only.
+func GoodCount(m map[string]int) (int, int) {
+	n, sum := 0, 0
+	for _, v := range m {
+		n++
+		sum += v
+	}
+	return n, sum
+}
+
+// GoodLoopLocal appends to a slice declared inside the loop body, which
+// dies with each iteration and cannot leak order across iterations.
+func GoodLoopLocal(m map[string][]int) int {
+	tot := 0
+	for _, vs := range m {
+		scratch := append([]int(nil), vs...)
+		sort.Ints(scratch)
+		tot += scratch[0]
+	}
+	return tot
+}
+
+// GoodSliceRange ranges over a slice, not a map: never flagged.
+func GoodSliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// Audited leaks order deliberately (a documented-unordered return) and
+// carries the allowlist directive.
+func Audited(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //fssga:nondet documented-unordered return; all callers sort
+	}
+	return keys
+}

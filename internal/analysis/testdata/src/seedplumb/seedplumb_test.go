@@ -1,0 +1,75 @@
+// Fixture for the seedplumb analyzer. The file is _test.go-named so the
+// test-file-scoped rules apply; testdata is invisible to the go tool, so
+// it is analyzed but never executed.
+package seedplumb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"testutil"
+)
+
+func TestGood(t *testing.T) {
+	prop := func(x uint8) bool { return int(x) < 256 }
+	if err := quick.Check(prop, testutil.Quick(t, 42)); err != nil {
+		t.Fatal(err)
+	}
+	cfg := testutil.QuickN(t, 7, 50)
+	if err := quick.CheckEqual(prop, prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1)) // pinned seed: sanctioned
+	_ = rng.Intn(3)
+}
+
+func TestBadNil(t *testing.T) {
+	prop := func(x uint8) bool { return x == x }
+	if err := quick.Check(prop, nil); err != nil { // want `quick.Check with a nil config uses testing/quick's time-seeded RNG`
+		t.Fatal(err)
+	}
+}
+
+func TestBadLiteral(t *testing.T) {
+	prop := func(x uint8) bool { return x == x }
+	cfg := &quick.Config{MaxCount: 10} // want `quick.Config constructed literally`
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5}); err != nil { // want `quick.Config constructed literally`
+		t.Fatal(err)
+	}
+}
+
+func badCfg() *quick.Config { return nil }
+
+func TestBadWrapper(t *testing.T) {
+	prop := func(x int8) bool { return x <= 127 }
+	if err := quick.Check(prop, badCfg()); err != nil { // want `quick config does not come from testutil.Quick/QuickN`
+		t.Fatal(err)
+	}
+}
+
+func TestBadVar(t *testing.T) {
+	prop := func(x int8) bool { return x <= 127 }
+	cfg := badCfg()
+	if err := quick.Check(prop, cfg); err != nil { // want `quick config "cfg" does not come from testutil.Quick/QuickN`
+		t.Fatal(err)
+	}
+}
+
+func TestBadGlobalRand(t *testing.T) {
+	_ = rand.Intn(10) // want `global math/rand.Intn in a test is unreproducible`
+}
+
+func TestBadTimeSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano())) // want `math/rand.NewSource seeded from time.Now`
+	_ = rng
+}
+
+func TestSuppressed(t *testing.T) {
+	//fssga:nondet smoke only; the draw's value is never asserted
+	_ = rand.Float64()
+}

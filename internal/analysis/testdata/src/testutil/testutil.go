@@ -1,0 +1,23 @@
+// Package testutil is a fixture stand-in for repro/internal/testutil:
+// same Quick/QuickN shape, so seedplumb fixtures can exercise both the
+// sanctioned and the flagged ways of obtaining a quick.Config.
+package testutil
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Quick returns a quick.Config with a pinned, logged seed.
+func Quick(t *testing.T, seed int64) *quick.Config {
+	t.Logf("quick seed %d", seed)
+	return &quick.Config{Rand: rand.New(rand.NewSource(seed))}
+}
+
+// QuickN is Quick with an explicit iteration count.
+func QuickN(t *testing.T, seed int64, maxCount int) *quick.Config {
+	c := Quick(t, seed)
+	c.MaxCount = maxCount
+	return c
+}

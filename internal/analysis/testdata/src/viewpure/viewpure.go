@@ -1,0 +1,91 @@
+// Fixture for the viewpure analyzer, built against the fake fssga
+// sibling (whose View has an exported field and a mutating method so
+// every diagnostic is reachable).
+package viewpure
+
+import (
+	"math/rand"
+
+	"fssga"
+)
+
+type S int8
+
+type holder struct{ v *fssga.View[S] }
+
+var (
+	sink  *fssga.View[S]
+	hook  func() bool
+	store holder
+	views []*fssga.View[S]
+)
+
+// helper just reads the view; passing a view to a helper is allowed.
+func helper(v *fssga.View[S]) bool { return v.Empty() }
+
+// GoodStep uses only the observation API, local aliases and predicate
+// closures that execute within Step: nothing may be flagged.
+func GoodStep(self S, view *fssga.View[S], rnd *rand.Rand) S {
+	if view.Empty() {
+		return self
+	}
+	alias := view // plain local alias is tolerated
+	if helper(alias) || view.Any(func(s S) bool { return s > self }) {
+		return self + 1
+	}
+	_ = view.Total // reading a field is not a mutation
+	n := view.Count(3, func(s S) bool { return s == self })
+	return self + S(n%2)
+}
+
+func BadMutate(self S, view *fssga.View[S], rnd *rand.Rand) S {
+	view.Reset()   // want `transition function calls view.Reset`
+	view.Total = 0 // want `transition function writes view field view.Total`
+	return self
+}
+
+func BadStore(self S, view *fssga.View[S], rnd *rand.Rand) S {
+	sink = view                 // want `view "view" is stored in package-level variable "sink"`
+	store.v = view              // want `view "view" is stored in field store.v`
+	_ = holder{v: view}         // want `view "view" is stored in a composite literal`
+	views = append(views, view) // want `view "view" is appended to a slice`
+	views[0] = view             // want `view "view" is stored in a slice/map element`
+	return self
+}
+
+func BadEscape(self S, view *fssga.View[S], rnd *rand.Rand) S {
+	go helper(view)    // want `view "view" is passed to a goroutine`
+	defer helper(view) // want `view "view" is passed to a deferred call`
+	go func() {        // closure captures judged at the view use below
+		_ = view.Empty() // want `view "view" is captured by a goroutine`
+	}()
+	defer func() {
+		_ = view.Empty() // want `view "view" is captured by a deferred closure`
+	}()
+	hook = func() bool { return view.Empty() } // want `view "view" is captured by a closure stored in package-level variable "hook"`
+	return self
+}
+
+func BadReturnClosure(self S, view *fssga.View[S], rnd *rand.Rand) S {
+	mk := func() func() bool {
+		return func() bool { return view.Empty() } // want `view "view" is captured by a returned closure`
+	}
+	_ = mk
+	return self
+}
+
+// StepTable holds a step-shaped function literal; the analyzer must find
+// literals anywhere, not just named declarations.
+var StepTable = []func(S, *fssga.View[S], *rand.Rand) S{
+	func(self S, view *fssga.View[S], rnd *rand.Rand) S {
+		sink = view // want `view "view" is stored in package-level variable "sink"`
+		return self
+	},
+}
+
+// NotAStep has the wrong shape (no rand parameter): viewpure must ignore
+// it even though it retains its view argument.
+func NotAStep(self S, view *fssga.View[S]) S {
+	sink = view
+	return self
+}

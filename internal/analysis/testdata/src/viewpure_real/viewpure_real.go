@@ -1,0 +1,32 @@
+// Fixture for viewpure against the real engine package: proves the
+// analyzer recognizes repro/internal/fssga.View through export data and
+// that a clean transition function over the real API stays clean.
+package viewpure_real
+
+import (
+	"math/rand"
+
+	"repro/internal/fssga"
+)
+
+type S uint8
+
+var leaked *fssga.View[S]
+
+// Step exercises the real observation API; nothing may be flagged.
+func Step(self S, view *fssga.View[S], rnd *rand.Rand) S {
+	if view.Empty() || view.None(func(s S) bool { return s > self }) {
+		return self
+	}
+	k := view.CountState(self, 3)
+	if view.Exactly(1, func(s S) bool { return s == 0 }) {
+		k++
+	}
+	view.ForEach(func(state S, count int) {})
+	return self + S(k%2)
+}
+
+func LeakyStep(self S, view *fssga.View[S], rnd *rand.Rand) S {
+	leaked = view // want `view "view" is stored in package-level variable "leaked"`
+	return self
+}

@@ -8,6 +8,7 @@ package baseline
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/graph"
 )
@@ -59,16 +60,8 @@ func (b *BetaSynchronizer) CriticalNodes() []int {
 	for v := range internal {
 		out = append(out, v)
 	}
-	insertionSort(out)
+	sort.Ints(out)
 	return out
-}
-
-func insertionSort(a []int) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j-1] > a[j]; j-- {
-			a[j-1], a[j] = a[j], a[j-1]
-		}
-	}
 }
 
 // TreeIntact reports whether every tree edge and node is still alive.

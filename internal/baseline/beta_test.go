@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/graph"
@@ -128,5 +129,21 @@ func TestNonTreeEdgeFailureHarmless(t *testing.T) {
 	}
 	if err := b.Pulse(); err != nil {
 		t.Fatalf("non-tree edge removal broke the pulse: %v", err)
+	}
+}
+
+// CriticalNodes accumulates from a map; its output must be sorted and
+// identical across rebuilds (fresh maps iterate in different orders).
+// Pins the sort.Ints fix demanded by the fssga-vet maporder pass.
+func TestCriticalNodesCanonical(t *testing.T) {
+	want := []int{0, 1, 2, 3, 4} // path 0-..-5 rooted at 0: every parent
+	for i := 0; i < 5; i++ {
+		b, err := NewBeta(graph.Path(6), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := b.CriticalNodes(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("CriticalNodes() = %v, want %v", got, want)
+		}
 	}
 }

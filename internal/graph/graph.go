@@ -149,7 +149,7 @@ func (g *Graph) Neighbors(v int, buf []int) []int {
 		return buf
 	}
 	for u := range g.adj[v] {
-		buf = append(buf, u)
+		buf = append(buf, u) //fssga:nondet documented-unordered API; deterministic callers use NeighborsSorted or consume the result as a multiset
 	}
 	return buf
 }

@@ -1,8 +1,13 @@
 package graph
 
+import "sort"
+
 // This file implements the centralized "oracle" algorithms used to validate
 // distributed FSSGA outputs: connectivity, components, BFS distances,
 // bridges (Tarjan), and bipartiteness. They operate only on live nodes.
+// All traversals visit neighbours in sorted order, so every oracle result
+// — including intermediate queue contents — is independent of map
+// iteration order.
 
 // Unreachable is the distance value reported for nodes with no path to any
 // source (and for dead nodes).
@@ -29,7 +34,7 @@ func (g *Graph) Connected() bool {
 		v := queue[0]
 		queue = queue[1:]
 		seen++
-		for u := range g.adj[v] {
+		for _, u := range g.NeighborsSorted(v) {
 			if !visited[u] {
 				visited[u] = true
 				queue = append(queue, u)
@@ -55,7 +60,7 @@ func (g *Graph) Components() [][]int {
 			v := queue[0]
 			queue = queue[1:]
 			comp = append(comp, v)
-			for u := range g.adj[v] {
+			for _, u := range g.NeighborsSorted(v) {
 				if !visited[u] {
 					visited[u] = true
 					queue = append(queue, u)
@@ -64,18 +69,10 @@ func (g *Graph) Components() [][]int {
 		}
 		// BFS from the smallest unvisited node emits comp in discovery
 		// order; sort for a canonical representation.
-		insertionSort(comp)
+		sort.Ints(comp)
 		comps = append(comps, comp)
 	}
 	return comps
-}
-
-func insertionSort(a []int) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j-1] > a[j]; j-- {
-			a[j-1], a[j] = a[j], a[j-1]
-		}
-	}
 }
 
 // ComponentOf returns the sorted component containing v, or nil if v is dead.
@@ -91,14 +88,14 @@ func (g *Graph) ComponentOf(v int) []int {
 		w := queue[0]
 		queue = queue[1:]
 		comp = append(comp, w)
-		for u := range g.adj[w] {
+		for _, u := range g.NeighborsSorted(w) {
 			if !visited[u] {
 				visited[u] = true
 				queue = append(queue, u)
 			}
 		}
 	}
-	insertionSort(comp)
+	sort.Ints(comp)
 	return comp
 }
 
@@ -120,7 +117,7 @@ func (g *Graph) BFSDistances(sources ...int) []int {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for u := range g.adj[v] {
+		for _, u := range g.NeighborsSorted(v) {
 			if dist[u] == Unreachable {
 				dist[u] = dist[v] + 1
 				queue = append(queue, u)
@@ -270,7 +267,7 @@ func (g *Graph) TwoColor() ([]int, bool) {
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
-			for u := range g.adj[v] {
+			for _, u := range g.NeighborsSorted(v) {
 				if colors[u] == Unreachable {
 					colors[u] = 1 - colors[v]
 					queue = append(queue, u)

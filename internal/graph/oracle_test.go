@@ -2,6 +2,8 @@ package graph
 
 import (
 	"math/rand"
+	"reflect"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -282,6 +284,46 @@ func TestSpanningTree(t *testing.T) {
 	for _, p := range par {
 		if p != Unreachable {
 			t.Fatal("dead root should yield all-unreachable")
+		}
+	}
+}
+
+// The oracle traversals must not depend on map iteration order: two
+// structurally identical graphs built independently (fresh adjacency
+// maps, so Go randomizes their iteration differently) must produce
+// identical results. Pins the sorted-neighbour traversal that the
+// fssga-vet maporder pass demanded.
+func TestOracleDeterministicAcrossRebuilds(t *testing.T) {
+	build := func() *Graph {
+		rng := rand.New(rand.NewSource(99))
+		g := RandomConnectedGNP(40, 0.1, rng)
+		g.RemoveNode(7)
+		g.RemoveNode(13)
+		return g
+	}
+	ref := build()
+	refConn := ref.Connected()
+	refComps := ref.Components()
+	refComp := ref.ComponentOf(0)
+	refDist := ref.BFSDistances(0)
+	for _, comp := range refComps {
+		if !sort.IntsAreSorted(comp) {
+			t.Fatalf("component not sorted: %v", comp)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		g := build()
+		if g.Connected() != refConn {
+			t.Fatal("Connected differs across rebuilds")
+		}
+		if got := g.Components(); !reflect.DeepEqual(got, refComps) {
+			t.Fatalf("Components differ across rebuilds:\n%v\n%v", got, refComps)
+		}
+		if got := g.ComponentOf(0); !reflect.DeepEqual(got, refComp) {
+			t.Fatalf("ComponentOf differs across rebuilds:\n%v\n%v", got, refComp)
+		}
+		if got := g.BFSDistances(0); !reflect.DeepEqual(got, refDist) {
+			t.Fatalf("BFSDistances differ across rebuilds:\n%v\n%v", got, refDist)
 		}
 	}
 }

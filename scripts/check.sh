@@ -1,9 +1,10 @@
 #!/bin/sh
-# Tier-1 verification for the repo (see ROADMAP.md): build, vet, full
-# tests under the coverage ratchet, the race detector over the execution
-# engine and the algorithm layer — the packages with goroutine-parallel
-# rounds and the serial/parallel determinism invariant — and the chaos
-# and model-checker smoke gates.
+# Tier-1 verification for the repo (see ROADMAP.md): build, vet, the
+# fssga-vet determinism/symmetry analyzers, full tests under the
+# coverage ratchet, the race detector over the execution engine and the
+# algorithm layer — the packages with goroutine-parallel rounds and the
+# serial/parallel determinism invariant — and the chaos and
+# model-checker smoke gates.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -20,6 +21,9 @@ go build ./...
 
 echo "== go vet ./..."
 go vet ./...
+
+echo "== fssga-vet (determinism & symmetry analyzers)"
+go run ./cmd/fssga-vet repro/...
 
 echo "== go test -cover ./... (coverage ratchet)"
 ./scripts/coverage.sh
