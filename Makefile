@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test cover lint race chaos-race chaos-smoke mc-smoke bench perf
+.PHONY: check build test cover lint audit contracts race chaos-race chaos-smoke mc-smoke bench perf
 
 # Tier-1 verify path (ROADMAP.md): gofmt + build + vet + tests + race.
 check:
@@ -17,11 +17,23 @@ test:
 cover:
 	./scripts/coverage.sh
 
-# Determinism and symmetry static analyzers (internal/analysis) via the
-# fssga-vet multichecker. Exit 1 on any finding not carrying an audited
-# //fssga:nondet directive.
+# Determinism, symmetry and model-contract static analyzers
+# (internal/analysis) via the fssga-vet multichecker: detrand, maporder,
+# viewpure, seedplumb, globalwrite, symcontract, finstate, capinfer.
+# Exit 1 on any finding not carrying an audited //fssga:nondet directive.
 lint:
 	$(GO) run ./cmd/fssga-vet repro/...
+	$(GO) run ./cmd/fssga-vet -audit repro/... > /dev/null
+
+# Inventory the //fssga:nondet suppression directives with the analyzers
+# each one absorbs; exit 1 if any directive is stale.
+audit:
+	$(GO) run ./cmd/fssga-vet -audit repro/...
+
+# Statically inferred mod-thresh observation footprints (Theorem 3.7
+# normal form), cross-checked dynamically in internal/mc witness tests.
+contracts:
+	$(GO) run ./cmd/fssga-vet -contracts -json repro/internal/...
 
 # Race detector over the engine and algorithm layers — the packages with
 # goroutine-parallel rounds and per-worker scratch.

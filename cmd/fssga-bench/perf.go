@@ -53,6 +53,7 @@ func (l lattice) StateIndex(s int) int { return s }
 func (l lattice) Step(self int, view *fssga.View[int], rnd *rand.Rand) int {
 	for q := l.k - 1; q > self; q-- {
 		if view.AnyState(q) {
+			//fssga:nondet q walks the fixed range (self, k) downward; it is bounded by the automaton's state count, not by state arithmetic
 			return q
 		}
 	}

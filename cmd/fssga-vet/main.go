@@ -1,19 +1,26 @@
 // Command fssga-vet runs the repository's determinism and symmetry
-// analyzers (detrand, maporder, viewpure, seedplumb, globalwrite) over
-// Go packages. It has two modes:
+// analyzers (detrand, maporder, viewpure, seedplumb, globalwrite,
+// symcontract, finstate, capinfer) over Go packages. It has two modes:
 //
 // Standalone, over go package patterns (the default is ./...):
 //
 //	fssga-vet [-json] [-analyzers detrand,maporder] [patterns...]
 //	fssga-vet -fixtures internal/analysis/testdata/src detrand
+//	fssga-vet -audit repro/...     # inventory //fssga:nondet directives
+//	fssga-vet -contracts repro/... # inferred mod-thresh footprints
 //
 // As a go vet tool, speaking the cmd/go vet-tool protocol (-V=full,
 // -flags, and a single JSON .cfg argument per unit):
 //
 //	go vet -vettool=$(which fssga-vet) ./...
 //
-// Exit status: 0 when clean, 1 when the analyzers report findings,
-// 2 when loading or type-checking fails.
+// With -json, output is a versioned envelope {"schemaVersion": 2, ...}
+// carrying a "findings", "directives" or "contracts" array depending on
+// the mode, each in a stable sorted order.
+//
+// Exit status: 0 when clean, 1 when the analyzers report findings (or
+// -audit finds a stale directive), 2 when loading or type-checking
+// fails.
 package main
 
 import (
@@ -30,6 +37,35 @@ import (
 )
 
 const progName = "fssga-vet"
+
+// schemaVersion tags every -json envelope; bump it when the output
+// shape changes incompatibly. Version 1 was the bare findings array.
+const schemaVersion = 2
+
+type findingsEnvelope struct {
+	SchemaVersion int                `json:"schemaVersion"`
+	Findings      []analysis.Finding `json:"findings"`
+}
+
+type auditEnvelope struct {
+	SchemaVersion int                  `json:"schemaVersion"`
+	Directives    []analysis.Directive `json:"directives"`
+}
+
+type contractsEnvelope struct {
+	SchemaVersion int                 `json:"schemaVersion"`
+	Contracts     []analysis.Contract `json:"contracts"`
+}
+
+func emitJSON(stdout, stderr io.Writer, v any) int {
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	return 0
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -53,11 +89,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	fs := flag.NewFlagSet(progName, flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	jsonOut := fs.Bool("json", false, "emit a versioned JSON envelope on stdout")
 	names := fs.String("analyzers", "", "comma-separated subset of analyzers (default: all)")
 	fixtureRoot := fs.String("fixtures", "", "treat patterns as fixture package names under this directory")
+	audit := fs.Bool("audit", false, "list //fssga:nondet directives with audit status; exit 1 if any is stale")
+	contracts := fs.Bool("contracts", false, "emit inferred mod-thresh observation contracts instead of findings")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: %s [-json] [-analyzers names] [-fixtures dir] [patterns]\n\nAnalyzers:\n", progName)
+		fmt.Fprintf(stderr, "usage: %s [-json] [-analyzers names] [-fixtures dir] [-audit|-contracts] [patterns]\n\nAnalyzers:\n", progName)
 		for _, a := range analysis.All() {
 			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -96,20 +134,61 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	switch {
+	case *audit:
+		// Staleness is judged against the full suite, whatever -analyzers
+		// selected: a directive absorbing any analyzer's diagnostic is live.
+		dirs, err := analysis.AuditDirectives(units, analysis.All())
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		if *jsonOut {
+			if code := emitJSON(stdout, stderr, auditEnvelope{schemaVersion, dirs}); code != 0 {
+				return code
+			}
+		} else {
+			for _, d := range dirs {
+				fmt.Fprintln(stdout, d)
+			}
+		}
+		stale := 0
+		for _, d := range dirs {
+			if d.Stale() {
+				stale++
+			}
+		}
+		if stale > 0 {
+			fmt.Fprintf(stderr, "%s: %d stale //fssga:nondet directive(s) suppress nothing; remove them\n", progName, stale)
+			return 1
+		}
+		return 0
+
+	case *contracts:
+		cs := analysis.InferContracts(units)
+		if cs == nil {
+			cs = []analysis.Contract{}
+		}
+		if *jsonOut {
+			return emitJSON(stdout, stderr, contractsEnvelope{schemaVersion, cs})
+		}
+		for _, c := range cs {
+			fmt.Fprintln(stdout, c)
+		}
+		return 0
+	}
+
 	findings, err := analysis.RunAnalyzers(units, analyzers)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	if *jsonOut {
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
 		if findings == nil {
 			findings = []analysis.Finding{}
 		}
-		if err := enc.Encode(findings); err != nil {
-			fmt.Fprintln(stderr, err)
-			return 2
+		if code := emitJSON(stdout, stderr, findingsEnvelope{schemaVersion, findings}); code != 0 {
+			return code
 		}
 	} else {
 		for _, f := range findings {

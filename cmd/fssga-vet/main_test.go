@@ -3,12 +3,12 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
-
-	"repro/internal/analysis"
 )
 
 const fixtureRoot = "../../internal/analysis/testdata/src"
@@ -42,31 +42,139 @@ func TestJSONOutput(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, errb.String())
 	}
-	var findings []analysis.Finding
-	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+	var env findingsEnvelope
+	if err := json.Unmarshal(out.Bytes(), &env); err != nil {
 		t.Fatalf("decoding -json output: %v\n%s", err, out.String())
 	}
-	if len(findings) == 0 {
+	if env.SchemaVersion != schemaVersion {
+		t.Fatalf("schemaVersion = %d, want %d", env.SchemaVersion, schemaVersion)
+	}
+	if len(env.Findings) == 0 {
 		t.Fatal("-json produced an empty findings array for a known-bad fixture")
 	}
-	for _, f := range findings {
+	for _, f := range env.Findings {
 		if f.File == "" || f.Line <= 0 || f.Col <= 0 || f.Analyzer != "maporder" || f.Message == "" {
 			t.Fatalf("incomplete finding: %+v", f)
 		}
 	}
+	if !sort.SliceIsSorted(env.Findings, func(i, j int) bool {
+		a, b := env.Findings[i], env.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	}) {
+		t.Fatalf("findings are not in the stable sort order:\n%s", out.String())
+	}
 }
 
-func TestJSONEmptyArrayOnClean(t *testing.T) {
+func TestJSONEmptyFindingsOnClean(t *testing.T) {
 	var out, errb bytes.Buffer
 	// The detrand fixture is clean under maporder, so the filter must
-	// yield exit 0 and a JSON empty array, not null.
+	// yield exit 0 and an empty findings array, not null.
 	code := run([]string{"-json", "-analyzers", "maporder", "-fixtures", fixtureRoot, "detrand"}, &out, &errb)
 	if code != 0 {
 		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
 	}
-	if got := strings.TrimSpace(out.String()); got != "[]" {
-		t.Fatalf("clean -json output = %q, want []", got)
+	if !strings.Contains(out.String(), `"findings": []`) {
+		t.Fatalf("clean -json output = %q, want an explicit empty findings array", out.String())
 	}
+}
+
+// TestJSONGolden pins the -json envelope byte-for-byte: schemaVersion,
+// field names, ordering and indentation are all part of the tool's
+// contract with scripts/check.sh and any CI consumer.
+func TestJSONGolden(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "-fixtures", fixtureRoot, "maporder"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, errb.String())
+	}
+	goldenPath := filepath.Join("testdata", "maporder.golden.json")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file: %v (regenerate with: go run . -json -fixtures %s maporder > cmd/fssga-vet/%s)", err, fixtureRoot, goldenPath)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Fatalf("-json output drifted from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, out.String(), want)
+	}
+}
+
+// Every committed //fssga:nondet directive must still suppress a live
+// diagnostic; -audit is the gate that keeps the allowlist honest.
+func TestAuditCleanTreeHasNoStaleDirectives(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-audit", "repro/..."}, &out, &errb); code != 0 {
+		t.Fatalf("fssga-vet -audit repro/... = exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if strings.Contains(out.String(), "STALE") {
+		t.Fatalf("audit reports stale directives:\n%s", out.String())
+	}
+	// The semilattice fold suppression is the audit's canary: it must be
+	// listed, attributed to symcontract.
+	found := false
+	for _, line := range strings.Split(out.String(), "\n") {
+		if strings.Contains(line, "semilattice.go") && strings.Contains(line, "symcontract") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("audit listing lacks the semilattice symcontract suppression:\n%s", out.String())
+	}
+}
+
+func TestAuditStaleDirectiveExitsOne(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-audit", "-json", "-fixtures", fixtureRoot, "auditstale"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	var env auditEnvelope
+	if err := json.Unmarshal(out.Bytes(), &env); err != nil {
+		t.Fatalf("decoding -audit -json output: %v\n%s", err, out.String())
+	}
+	if env.SchemaVersion != schemaVersion || len(env.Directives) != 1 {
+		t.Fatalf("envelope = %+v, want schema %d with one directive", env, schemaVersion)
+	}
+	d := env.Directives[0]
+	if !d.Stale() || d.Reason != "left behind after the offending call was removed" {
+		t.Fatalf("directive = %+v, want stale with the fixture's reason", d)
+	}
+	if !strings.Contains(errb.String(), "stale") {
+		t.Fatalf("stderr does not explain the failure:\n%s", errb.String())
+	}
+}
+
+func TestContractsJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-contracts", "-json", "repro/internal/algo/twocolor"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstderr:\n%s", code, errb.String())
+	}
+	var env contractsEnvelope
+	if err := json.Unmarshal(out.Bytes(), &env); err != nil {
+		t.Fatalf("decoding -contracts -json output: %v\n%s", err, out.String())
+	}
+	if env.SchemaVersion != schemaVersion {
+		t.Fatalf("schemaVersion = %d, want %d", env.SchemaVersion, schemaVersion)
+	}
+	for _, c := range env.Contracts {
+		if c.Automaton == "(repro/internal/algo/twocolor.automaton).Step" {
+			if !c.Bounded {
+				t.Fatalf("twocolor contract unbounded: %+v", c)
+			}
+			return
+		}
+	}
+	t.Fatalf("no contract for the twocolor automaton in %s", out.String())
 }
 
 func TestUnknownAnalyzerExitsTwo(t *testing.T) {

@@ -37,7 +37,7 @@ func (w *Walker) Step(g *graph.Graph, rng *rand.Rand) (from, to int, ok bool) {
 	}
 	// Index into the sorted neighbour list so seeded walks are exactly
 	// reproducible (map iteration order is not).
-	next := g.NeighborsSorted(w.Pos)[rng.Intn(d)]
+	next := g.SortedNeighbors(w.Pos, nil)[rng.Intn(d)]
 	from = w.Pos
 	w.Pos = next
 	w.Steps++

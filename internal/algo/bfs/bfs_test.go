@@ -273,7 +273,7 @@ func TestRegressedNeverFiresOnRealRuns(t *testing.T) {
 			g.RemoveNode(7)
 		}
 		if r == 9 {
-			g.RemoveEdge(0, g.NeighborsSorted(0)[0])
+			g.RemoveEdge(0, g.SortedNeighbors(0, nil)[0])
 		}
 		net.SyncRound()
 		for v := 0; v < g.Cap(); v++ {

@@ -13,7 +13,7 @@ import (
 func debugWhy(net *fssga.Network[State], g *graph.Graph, v int) string {
 	self := net.State(v)
 	var nbrs []State
-	for _, u := range g.NeighborsSorted(v) {
+	for _, u := range g.SortedNeighbors(v, nil) {
 		nbrs = append(nbrs, net.State(u))
 	}
 	view := fssga.NewView(nbrs)
@@ -57,7 +57,7 @@ func TestDebugGridTrace(t *testing.T) {
 					logged++
 					s := tr.Net.State(v)
 					line := fmt.Sprintf("round %d node %d: %s state=%+v nbrs=", r, v, why, s)
-					for _, u := range g.NeighborsSorted(v) {
+					for _, u := range g.SortedNeighbors(v, nil) {
 						line += fmt.Sprintf(" [%d]%+v", u, tr.Net.State(u))
 					}
 					t.Log(line)

@@ -325,6 +325,7 @@ func inconsistent(self State, view *fssga.View[State], noVerification bool) bool
 			if seen[t.CEpoch] != NoColour && seen[t.CEpoch] != t.CColour {
 				clash = true
 			}
+			//fssga:nondet clash detection is order-independent: clash ends true iff some epoch carries two distinct colours in {self} ∪ view, whatever order they are folded in
 			seen[t.CEpoch] = t.CColour
 		})
 		if clash {
@@ -406,6 +407,7 @@ func agentStep(self State, view *fssga.View[State], rnd *rand.Rand) State {
 		sawHand := false
 		view.ForEach(func(t State, _ int) {
 			if t.MSt == MHand {
+				//fssga:nondet two adjacent hands raise NP via the hand-collision rule before this read matters; with at most one hand visible the capture is conflict-free
 				handElect = t.MEl
 				sawHand = true
 			}

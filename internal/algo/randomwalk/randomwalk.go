@@ -58,6 +58,7 @@ func (automaton) Step(self State, view *fssga.View[State], rnd *rand.Rand) State
 	hasWalker := false
 	view.ForEach(func(t State, _ int) {
 		if IsWalker(t) {
+			//fssga:nondet at most one walker exists in the network (Section 4 invariant), so at most one walker state is ever visible and the overwrite is conflict-free
 			wq = t
 			hasWalker = true
 		}

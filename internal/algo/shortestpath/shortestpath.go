@@ -152,7 +152,7 @@ func collect(g *graph.Graph, net *fssga.Network[State], rounds int, finished boo
 func RouteNext(g *graph.Graph, labels []int, v int) int {
 	best := -1
 	bestLabel := labels[v]
-	for _, u := range g.NeighborsSorted(v) {
+	for _, u := range g.SortedNeighbors(v, nil) {
 		if labels[u] < bestLabel {
 			best = u
 			bestLabel = labels[u]

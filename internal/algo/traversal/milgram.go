@@ -147,6 +147,7 @@ func (milgramAutomaton) Step(self MilgramState, view *fssga.View[MilgramState], 
 		sawHand := false
 		view.ForEach(func(t MilgramState, _ int) {
 			if t.Status == Hand {
+				//fssga:nondet the traversal keeps a single hand alive (arm/hand collision aborts first); at most one hand state is visible, so the capture is conflict-free
 				handElect = t.Elect
 				sawHand = true
 			}
@@ -298,7 +299,7 @@ func (t *MilgramTracker) ArmIsInducedPath() error {
 	ends := 0
 	for _, v := range members {
 		deg := 0
-		for _, u := range g.NeighborsSorted(v) {
+		for _, u := range g.SortedNeighbors(v, nil) {
 			if inArm[u] {
 				deg++
 			}

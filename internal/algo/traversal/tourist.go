@@ -121,7 +121,7 @@ func (t *TouristTracker) MoveOnce(maxStabilize int) bool {
 	if !t.stabilize(maxStabilize) {
 		return false
 	}
-	nbrs := t.Net.G.NeighborsSorted(t.Pos)
+	nbrs := t.Net.G.SortedNeighbors(t.Pos, nil)
 	if len(nbrs) == 0 {
 		return false
 	}

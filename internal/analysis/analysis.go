@@ -16,6 +16,22 @@
 //     the parallel engine's worker entry points (Automaton.Step and `go`
 //     bodies), which would race under SyncRoundParallel.
 //
+// Three model-contract analyzers sit on a dataflow layer (a CFG
+// builder in cfg.go, a worklist fixed-point engine in dataflow.go and
+// interprocedural taint summaries in summary.go) and prove the FSSGA
+// model itself at the source level:
+//
+//   - symcontract: transition functions observe the View only as a
+//     multiset — order-invariant ForEach folds, constant observation
+//     caps (no data flow from the network size), no node identity
+//     captured into Step-shaped closures (Def. 3.1, Theorem 3.7);
+//   - finstate: the state space reachable from a Step stays finite —
+//     no unclamped arithmetic on state values, no state types with
+//     unbounded value domains (Section 2);
+//   - capinfer: infers each automaton's mod-thresh footprint, emitted
+//     by fssga-vet -contracts and cross-checked in internal/mc against
+//     enumeration-derived witness bounds (Theorem 3.7).
+//
 // The framework loads and type-checks packages with the standard library
 // only (go/parser + go/types, imports resolved through `go list -export`
 // export data with a source-importer fallback), so it runs in hermetic
@@ -128,13 +144,13 @@ func suppressedLines(fset *token.FileSet, files []*ast.File) map[string]map[int]
 	return sup
 }
 
-// RunAnalyzers executes the analyzers over the units, honouring each
-// analyzer's AppliesTo filter and the //fssga:nondet directive, and
-// returns all surviving findings sorted by file, line, column, analyzer.
-func RunAnalyzers(units []*Unit, analyzers []*Analyzer) ([]Finding, error) {
+// rawFindings executes the analyzers over the units, honouring each
+// analyzer's AppliesTo filter but NOT the //fssga:nondet directive: every
+// diagnostic the passes produce is returned. The audit layer uses the
+// raw stream to tell live directives from stale ones.
+func rawFindings(units []*Unit, analyzers []*Analyzer) ([]Finding, error) {
 	var findings []Finding
 	for _, u := range units {
-		sup := suppressedLines(u.Fset, u.Files)
 		for _, a := range analyzers {
 			if a.AppliesTo != nil && !a.AppliesTo(u.Path) {
 				continue
@@ -149,9 +165,6 @@ func RunAnalyzers(units []*Unit, analyzers []*Analyzer) ([]Finding, error) {
 			}
 			pass.Report = func(d Diagnostic) {
 				pos := u.Fset.Position(d.Pos)
-				if m := sup[pos.Filename]; m != nil && (m[pos.Line] || m[pos.Line-1]) {
-					return
-				}
 				findings = append(findings, Finding{
 					File:     pos.Filename,
 					Line:     pos.Line,
@@ -165,6 +178,13 @@ func RunAnalyzers(units []*Unit, analyzers []*Analyzer) ([]Finding, error) {
 			}
 		}
 	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// sortFindings orders findings by file, line, column, analyzer, message —
+// a total order, so JSON output is byte-stable across runs.
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.File != b.File {
@@ -176,14 +196,54 @@ func RunAnalyzers(units []*Unit, analyzers []*Analyzer) ([]Finding, error) {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
+}
+
+// RunAnalyzers executes the analyzers over the units, honouring each
+// analyzer's AppliesTo filter and the //fssga:nondet directive, and
+// returns all surviving findings sorted by file, line, column, analyzer,
+// message.
+func RunAnalyzers(units []*Unit, analyzers []*Analyzer) ([]Finding, error) {
+	raw, err := rawFindings(units, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	sup := make(map[string]map[int]bool)
+	for _, u := range units {
+		for file, lines := range suppressedLines(u.Fset, u.Files) {
+			m := sup[file]
+			if m == nil {
+				m = make(map[int]bool)
+				sup[file] = m
+			}
+			for line := range lines {
+				m[line] = true
+			}
+		}
+	}
+	findings := raw[:0]
+	for _, f := range raw {
+		if m := sup[f.File]; m != nil && (m[f.Line] || m[f.Line-1]) {
+			continue
+		}
+		findings = append(findings, f)
+	}
+	if len(findings) == 0 {
+		return nil, nil
+	}
 	return findings, nil
 }
 
 // All returns the full fssga-vet suite in a fixed order.
 func All() []*Analyzer {
-	return []*Analyzer{Detrand, Maporder, Viewpure, Seedplumb, Globalwrite}
+	return []*Analyzer{
+		Detrand, Maporder, Viewpure, Seedplumb, Globalwrite,
+		Symcontract, Finstate, Capinfer,
+	}
 }
 
 // Lookup resolves a comma-separated analyzer list ("detrand,maporder")

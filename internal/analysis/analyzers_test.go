@@ -18,3 +18,9 @@ func TestViewpure(t *testing.T) {
 func TestSeedplumb(t *testing.T) { analysistest.Run(t, analysis.Seedplumb, "seedplumb") }
 
 func TestGlobalwrite(t *testing.T) { analysistest.Run(t, analysis.Globalwrite, "globalwrite") }
+
+func TestSymcontract(t *testing.T) { analysistest.Run(t, analysis.Symcontract, "symcontract") }
+
+func TestFinstate(t *testing.T) { analysistest.Run(t, analysis.Finstate, "finstate") }
+
+func TestCapinfer(t *testing.T) { analysistest.Run(t, analysis.Capinfer, "capinfer") }

@@ -1,0 +1,118 @@
+package analysis
+
+// audit.go inventories the //fssga:nondet suppression directives. Each
+// directive is an audited exception to the determinism contract; the
+// audit re-runs the analyzers without suppression and attributes every
+// absorbed diagnostic back to its directive, so a directive left behind
+// after the offending code was fixed (or moved off its line) shows up
+// as stale instead of silently widening the allowlist.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// A Directive is one //fssga:nondet occurrence, with the analyzers whose
+// diagnostics it currently absorbs.
+type Directive struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Reason string `json:"reason"`
+	// Suppresses lists the analyzers with at least one diagnostic on the
+	// directive's line or the line below, sorted and deduplicated. Empty
+	// means the directive is stale: nothing fires there any more.
+	Suppresses []string `json:"suppresses"`
+}
+
+// Stale reports whether the directive no longer absorbs any diagnostic.
+func (d Directive) Stale() bool { return len(d.Suppresses) == 0 }
+
+// String renders the directive in file:line form with its audit status.
+func (d Directive) String() string {
+	status := "STALE"
+	if !d.Stale() {
+		status = strings.Join(d.Suppresses, ",")
+	}
+	return fmt.Sprintf("%s:%d: [%s] %s", d.File, d.Line, status, d.Reason)
+}
+
+// AuditDirectives collects every //fssga:nondet directive in the units
+// and attributes to each the analyzers it suppresses, by running the
+// full analyzer set without suppression. Directives are returned sorted
+// by file and line.
+func AuditDirectives(units []*Unit, analyzers []*Analyzer) ([]Directive, error) {
+	type key struct {
+		file string
+		line int
+	}
+	var order []key
+	byKey := make(map[key]*Directive)
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, NondetDirective) {
+						continue
+					}
+					rest := c.Text[len(NondetDirective):]
+					if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+						continue
+					}
+					pos := u.Fset.Position(c.Pos())
+					k := key{pos.Filename, pos.Line}
+					if byKey[k] != nil {
+						continue // same file loaded in two units (test builds)
+					}
+					byKey[k] = &Directive{
+						File:       k.file,
+						Line:       k.line,
+						Reason:     strings.TrimSpace(rest),
+						Suppresses: []string{},
+					}
+					order = append(order, k)
+				}
+			}
+		}
+	}
+
+	raw, err := rawFindings(units, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range raw {
+		// The driver honours a directive on the finding's line or the
+		// line above it; attribution mirrors that exactly.
+		for _, line := range []int{f.Line, f.Line - 1} {
+			if d := byKey[key{f.File, line}]; d != nil {
+				d.Suppresses = append(d.Suppresses, f.Analyzer)
+			}
+		}
+	}
+
+	out := make([]Directive, 0, len(order))
+	for _, k := range order {
+		d := byKey[k]
+		sort.Strings(d.Suppresses)
+		d.Suppresses = compactStrings(d.Suppresses)
+		out = append(out, *d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out, nil
+}
+
+// compactStrings removes adjacent duplicates from a sorted slice.
+func compactStrings(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package analysis_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestInferContracts pins the footprint table over the capinfer
+// fixture: one automaton per footprint shape.
+func TestInferContracts(t *testing.T) {
+	loader := analysis.NewLoader("")
+	loader.FixtureRoot = "testdata/src"
+	unit, err := loader.LoadFixture("capinfer")
+	if err != nil {
+		t.Fatalf("loading capinfer fixture: %v", err)
+	}
+	got := analysis.InferContracts([]*analysis.Unit{unit})
+
+	type want struct {
+		thresh  []int
+		mods    []int
+		forEach bool
+		bounded bool
+	}
+	wants := map[string]want{
+		"(capinfer.modThresh).Step": {thresh: []int{1, 2, 3}, mods: []int{2}, bounded: true},
+		"(capinfer.folder).Step":    {thresh: []int{}, mods: []int{}, forEach: true, bounded: true},
+		"(capinfer.escapee).Step":   {thresh: []int{}, mods: []int{}, forEach: true, bounded: true},
+		"(capinfer.unbounded).Step": {thresh: []int{}, mods: []int{}, bounded: false},
+	}
+	if len(got) != len(wants) {
+		t.Fatalf("InferContracts returned %d contracts, want %d: %+v", len(got), len(wants), got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Automaton >= got[i].Automaton {
+			t.Errorf("contracts not sorted: %q before %q", got[i-1].Automaton, got[i].Automaton)
+		}
+	}
+	for _, c := range got {
+		w, ok := wants[c.Automaton]
+		if !ok {
+			t.Errorf("unexpected contract for %q", c.Automaton)
+			continue
+		}
+		if !reflect.DeepEqual(c.Thresh, w.thresh) || !reflect.DeepEqual(c.Mods, w.mods) ||
+			c.ForEach != w.forEach || c.Bounded != w.bounded {
+			t.Errorf("%s: got thresh=%v mods=%v forEach=%v bounded=%v, want thresh=%v mods=%v forEach=%v bounded=%v",
+				c.Automaton, c.Thresh, c.Mods, c.ForEach, c.Bounded, w.thresh, w.mods, w.forEach, w.bounded)
+		}
+		if c.File == "" || c.Line == 0 {
+			t.Errorf("%s: missing position: file=%q line=%d", c.Automaton, c.File, c.Line)
+		}
+	}
+}

@@ -1,0 +1,639 @@
+package analysis
+
+// cfg.go builds a per-function control-flow graph over go/ast. The
+// dataflow analyzers (finstate, symcontract) need branch-sensitive
+// facts — a clamp like `if x > cap { x = cap }` bounds x on *both*
+// edges — so the builder records the controlling leaf condition on
+// every conditional edge, decomposing short-circuit && / || / ! into
+// separate blocks so each edge carries exactly one atomic comparison.
+//
+// The graph deliberately stays at statement granularity: a Block holds
+// the ast.Nodes that execute unconditionally once the block is entered
+// (statements, plus leaf condition expressions), and edges carry the
+// branch polarity. Function literals are opaque expressions here; each
+// literal body gets its own CFG when an analyzer descends into it.
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// EdgeKind classifies how control leaves a block.
+type EdgeKind uint8
+
+const (
+	// EdgeFlow is unconditional fall-through.
+	EdgeFlow EdgeKind = iota
+	// EdgeTrue is taken when the block's trailing condition holds.
+	EdgeTrue
+	// EdgeFalse is taken when the block's trailing condition fails.
+	EdgeFalse
+	// EdgeCase is one arm of a switch/select dispatch (or the
+	// has-next edge of a range loop when paired with EdgeFalse).
+	EdgeCase
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeFlow:
+		return "flow"
+	case EdgeTrue:
+		return "true"
+	case EdgeFalse:
+		return "false"
+	case EdgeCase:
+		return "case"
+	}
+	return fmt.Sprintf("EdgeKind(%d)", uint8(k))
+}
+
+// An Edge is one directed control transfer. For EdgeTrue/EdgeFalse
+// edges Cond is the atomic (post short-circuit decomposition) boolean
+// expression whose outcome selects the edge; analyses refine facts on
+// it (e.g. `x > cap` false implies x ≤ cap).
+type Edge struct {
+	From, To *Block
+	Kind     EdgeKind
+	Cond     ast.Expr
+}
+
+// A Block is a maximal straight-line run of AST nodes.
+type Block struct {
+	Index int    // position in CFG.Blocks, reverse post-order
+	What  string // builder-assigned role, for rendering ("for.head", …)
+
+	// Nodes lists statements and leaf condition expressions in
+	// execution order. RangeStmt appears in its loop-head block and
+	// stands for the has-next check plus key/value assignment.
+	Nodes []ast.Node
+
+	Succs []*Edge
+	Preds []*Edge
+}
+
+// A CFG is the control-flow graph of one function body. Exit is nil
+// when the function cannot return normally (e.g. `for {}`); blocks
+// are numbered in reverse post-order from Entry, and every block is
+// reachable from Entry.
+type CFG struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+}
+
+// BuildCFG constructs the CFG of one function body. A nil body (a
+// declaration without implementation) yields nil.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	if body == nil {
+		return nil
+	}
+	b := &cfgBuilder{
+		labels: make(map[string]*Block),
+	}
+	entry := b.newBlock("entry")
+	exit := b.newBlock("exit")
+	b.exit = exit
+	if after := b.stmts(body.List, entry); after != nil {
+		b.edge(after, exit, EdgeFlow, nil)
+	}
+	c := &CFG{Blocks: b.blocks, Entry: entry, Exit: exit}
+	c.compact()
+	c.prune()
+	return c
+}
+
+// cfgBuilder threads the per-function construction state.
+type cfgBuilder struct {
+	blocks []*Block
+	exit   *Block
+	// frames stacks the enclosing break/continue targets, innermost
+	// last. continueTo is nil for switch/select frames.
+	frames []cfgFrame
+	// labels maps a label name to the block starting the labeled
+	// statement; created on first reference so forward gotos work.
+	labels map[string]*Block
+	// pendingLabel is the label naming the very next loop or switch,
+	// consumed when its frame is pushed.
+	pendingLabel string
+}
+
+type cfgFrame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block
+}
+
+func (b *cfgBuilder) newBlock(what string) *Block {
+	blk := &Block{Index: len(b.blocks), What: what}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block, kind EdgeKind, cond ast.Expr) {
+	e := &Edge{From: from, To: to, Kind: kind, Cond: cond}
+	from.Succs = append(from.Succs, e)
+	to.Preds = append(to.Preds, e)
+}
+
+// labelBlock returns (creating on demand) the block a label names.
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + name)
+	b.labels[name] = blk
+	return blk
+}
+
+// takeLabel consumes the label destined for the statement being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// stmts builds a statement list starting in cur, returning the block
+// that normal completion continues in, or nil when every path
+// terminates (return/branch). Statements after a terminator still
+// build (a label inside may be a goto target) into a dangling block
+// that pruning removes if it stays unreachable.
+func (b *cfgBuilder) stmts(list []ast.Stmt, cur *Block) *Block {
+	for _, s := range list {
+		if cur == nil {
+			cur = b.newBlock("dead")
+		}
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, cur *Block) *Block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(s.List, cur)
+
+	case *ast.EmptyStmt:
+		return cur
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.edge(cur, lb, EdgeFlow, nil)
+		b.pendingLabel = s.Label.Name
+		after := b.stmt(s.Stmt, lb)
+		b.pendingLabel = ""
+		return after
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		b.edge(cur, b.exit, EdgeFlow, nil)
+		return nil
+
+	case *ast.BranchStmt:
+		return b.branch(s, cur)
+
+	case *ast.IfStmt:
+		return b.ifStmt(s, cur)
+
+	case *ast.ForStmt:
+		return b.forStmt(s, cur)
+
+	case *ast.RangeStmt:
+		return b.rangeStmt(s, cur)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		if s.Tag != nil {
+			cur.Nodes = append(cur.Nodes, s.Tag)
+		}
+		return b.cases(s.Body.List, cur, true)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		cur.Nodes = append(cur.Nodes, s.Assign)
+		return b.cases(s.Body.List, cur, false)
+
+	case *ast.SelectStmt:
+		return b.selectStmt(s, cur)
+
+	default:
+		// Assignments, declarations, expression/send/inc-dec/defer/go
+		// statements: straight-line nodes.
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt, cur *Block) *Block {
+	switch s.Tok {
+	case token.GOTO:
+		b.edge(cur, b.labelBlock(s.Label.Name), EdgeFlow, nil)
+		return nil
+	case token.BREAK:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if s.Label != nil && f.label != s.Label.Name {
+				continue
+			}
+			b.edge(cur, f.breakTo, EdgeFlow, nil)
+			return nil
+		}
+	case token.CONTINUE:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if f.continueTo == nil || (s.Label != nil && f.label != s.Label.Name) {
+				continue
+			}
+			b.edge(cur, f.continueTo, EdgeFlow, nil)
+			return nil
+		}
+	case token.FALLTHROUGH:
+		// Resolved by cases(); a stray fallthrough (invalid Go) is
+		// treated as a terminator.
+		return nil
+	}
+	// Unresolvable target (invalid source); terminate the path rather
+	// than guessing.
+	return nil
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt, cur *Block) *Block {
+	b.takeLabel() // labels on if-statements only name goto targets
+	if s.Init != nil {
+		cur = b.stmt(s.Init, cur)
+	}
+	thenB := b.newBlock("if.then")
+	join := b.newBlock("if.done")
+	elseB := join
+	if s.Else != nil {
+		elseB = b.newBlock("if.else")
+	}
+	b.cond(s.Cond, cur, thenB, elseB)
+	if after := b.stmts(s.Body.List, thenB); after != nil {
+		b.edge(after, join, EdgeFlow, nil)
+	}
+	if s.Else != nil {
+		if after := b.stmt(s.Else, elseB); after != nil {
+			b.edge(after, join, EdgeFlow, nil)
+		}
+	}
+	return join
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, cur *Block) *Block {
+	label := b.takeLabel()
+	if s.Init != nil {
+		cur = b.stmt(s.Init, cur)
+	}
+	head := b.newBlock("for.head")
+	b.edge(cur, head, EdgeFlow, nil)
+	body := b.newBlock("for.body")
+	done := b.newBlock("for.done")
+	post := head
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+	}
+	if s.Cond != nil {
+		b.cond(s.Cond, head, body, done)
+	} else {
+		b.edge(head, body, EdgeFlow, nil)
+	}
+	b.frames = append(b.frames, cfgFrame{label: label, breakTo: done, continueTo: post})
+	after := b.stmts(s.Body.List, body)
+	b.frames = b.frames[:len(b.frames)-1]
+	if after != nil {
+		b.edge(after, post, EdgeFlow, nil)
+	}
+	if s.Post != nil {
+		if p := b.stmt(s.Post, post); p != nil {
+			b.edge(p, head, EdgeFlow, nil)
+		}
+	}
+	return done
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, cur *Block) *Block {
+	label := b.takeLabel()
+	head := b.newBlock("range.head")
+	b.edge(cur, head, EdgeFlow, nil)
+	// The RangeStmt node stands for the has-next test plus the
+	// key/value assignment performed on each entry to the body.
+	head.Nodes = append(head.Nodes, s)
+	body := b.newBlock("range.body")
+	done := b.newBlock("range.done")
+	b.edge(head, body, EdgeCase, nil)
+	b.edge(head, done, EdgeFalse, nil)
+	b.frames = append(b.frames, cfgFrame{label: label, breakTo: done, continueTo: head})
+	after := b.stmts(s.Body.List, body)
+	b.frames = b.frames[:len(b.frames)-1]
+	if after != nil {
+		b.edge(after, head, EdgeFlow, nil)
+	}
+	return done
+}
+
+// cases wires switch (allowFallthrough) or type-switch clause bodies.
+// cur is the dispatch block; every clause is its target.
+func (b *cfgBuilder) cases(clauses []ast.Stmt, cur *Block, allowFallthrough bool) *Block {
+	label := b.takeLabel()
+	done := b.newBlock("switch.done")
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cl := range clauses {
+		blocks[i] = b.newBlock("case")
+		b.edge(cur, blocks[i], EdgeCase, nil)
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(cur, done, EdgeFlow, nil)
+	}
+	b.frames = append(b.frames, cfgFrame{label: label, breakTo: done})
+	for i, cl := range clauses {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		list := cc.Body
+		fallsThrough := false
+		if allowFallthrough && len(list) > 0 {
+			if br, ok := list[len(list)-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				list = list[:len(list)-1]
+				fallsThrough = i+1 < len(clauses)
+			}
+		}
+		after := b.stmts(list, blocks[i])
+		if after == nil {
+			continue
+		}
+		if fallsThrough {
+			b.edge(after, blocks[i+1], EdgeFlow, nil)
+		} else {
+			b.edge(after, done, EdgeFlow, nil)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	return done
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, cur *Block) *Block {
+	label := b.takeLabel()
+	done := b.newBlock("select.done")
+	b.frames = append(b.frames, cfgFrame{label: label, breakTo: done})
+	for _, cl := range s.Body.List {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock("select.case")
+		b.edge(cur, blk, EdgeCase, nil)
+		if cc.Comm != nil {
+			blk = b.stmt(cc.Comm, blk)
+		}
+		if after := b.stmts(cc.Body, blk); after != nil {
+			b.edge(after, done, EdgeFlow, nil)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	return done
+}
+
+// cond wires the evaluation of boolean expression e starting in cur so
+// that control reaches t when e holds and f when it fails, splitting
+// short-circuit operators into separate test blocks. Leaf tests append
+// the atomic expression to their block and label both out-edges with
+// it for edge refinement.
+func (b *cfgBuilder) cond(e ast.Expr, cur *Block, t, f *Block) {
+	switch x := unparen(e).(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			mid := b.newBlock("cond.and")
+			b.cond(x.X, cur, mid, f)
+			b.cond(x.Y, mid, t, f)
+			return
+		case token.LOR:
+			mid := b.newBlock("cond.or")
+			b.cond(x.X, cur, t, mid)
+			b.cond(x.Y, mid, t, f)
+			return
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			b.cond(x.X, cur, f, t)
+			return
+		}
+	}
+	leaf := unparen(e)
+	cur.Nodes = append(cur.Nodes, leaf)
+	b.edge(cur, t, EdgeTrue, leaf)
+	b.edge(cur, f, EdgeFalse, leaf)
+}
+
+// compact removes empty forwarding blocks: a block with no nodes and a
+// single unconditional successor is bypassed, its predecessors keeping
+// their own edge kind and condition. The entry block is kept so the
+// CFG always has a stable, node-free starting point.
+func (c *CFG) compact() {
+	changed := true
+	for changed {
+		changed = false
+		for _, blk := range c.Blocks {
+			if blk == c.Entry || blk == c.Exit || len(blk.Nodes) > 0 {
+				continue
+			}
+			if len(blk.Succs) != 1 || blk.Succs[0].Kind != EdgeFlow {
+				continue
+			}
+			succ := blk.Succs[0].To
+			if succ == blk || len(blk.Preds) == 0 {
+				continue
+			}
+			for _, pe := range blk.Preds {
+				pe.To = succ
+				succ.Preds = append(succ.Preds, pe)
+			}
+			succ.Preds = removeEdge(succ.Preds, blk.Succs[0])
+			blk.Preds = nil
+			blk.Succs = nil
+			changed = true
+		}
+	}
+}
+
+func removeEdge(edges []*Edge, e *Edge) []*Edge {
+	out := edges[:0]
+	for _, x := range edges {
+		if x != e {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// prune drops blocks unreachable from Entry, renumbers the survivors
+// in reverse post-order, and removes dangling pred edges. Exit becomes
+// nil when the function cannot complete normally.
+func (c *CFG) prune() {
+	var order []*Block
+	seen := map[*Block]bool{}
+	var dfs func(*Block)
+	dfs = func(blk *Block) {
+		if seen[blk] {
+			return
+		}
+		seen[blk] = true
+		for _, e := range blk.Succs {
+			dfs(e.To)
+		}
+		order = append(order, blk)
+	}
+	dfs(c.Entry)
+	// Reverse post-order.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	for i, blk := range order {
+		blk.Index = i
+		live := blk.Preds[:0]
+		for _, e := range blk.Preds {
+			if seen[e.From] {
+				live = append(live, e)
+			}
+		}
+		blk.Preds = live
+	}
+	c.Blocks = order
+	if !seen[c.Exit] {
+		c.Exit = nil
+	}
+}
+
+// Validate checks the structural invariants the analyses rely on:
+// every block is reachable from Entry, indices match positions, and
+// Succs/Preds mirror each other edge-for-edge. The fuzz target drives
+// this over arbitrary parseable functions.
+func (c *CFG) Validate() error {
+	if c.Entry == nil || len(c.Blocks) == 0 || c.Blocks[0] != c.Entry {
+		return fmt.Errorf("cfg: entry must be block 0")
+	}
+	pos := make(map[*Block]int, len(c.Blocks))
+	for i, blk := range c.Blocks {
+		if blk.Index != i {
+			return fmt.Errorf("cfg: block %d carries index %d", i, blk.Index)
+		}
+		pos[blk] = i
+	}
+	if len(c.Entry.Preds) != 0 {
+		return fmt.Errorf("cfg: entry has %d predecessors", len(c.Entry.Preds))
+	}
+	if c.Exit != nil {
+		if _, ok := pos[c.Exit]; !ok {
+			return fmt.Errorf("cfg: exit not among blocks")
+		}
+		if len(c.Exit.Succs) != 0 {
+			return fmt.Errorf("cfg: exit has successors")
+		}
+	}
+	reached := map[*Block]bool{}
+	stack := []*Block{c.Entry}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if reached[blk] {
+			continue
+		}
+		reached[blk] = true
+		for _, e := range blk.Succs {
+			if e.From != blk {
+				return fmt.Errorf("cfg: block b%d holds edge whose From is b%d", blk.Index, e.From.Index)
+			}
+			if _, ok := pos[e.To]; !ok {
+				return fmt.Errorf("cfg: edge from b%d targets a pruned block", blk.Index)
+			}
+			if !containsEdge(e.To.Preds, e) {
+				return fmt.Errorf("cfg: edge b%d→b%d missing from target's preds", blk.Index, e.To.Index)
+			}
+			if (e.Kind == EdgeTrue || e.Kind == EdgeFalse) && e.Cond == nil && blk.What != "range.head" {
+				return fmt.Errorf("cfg: conditional edge b%d→b%d lacks a condition", blk.Index, e.To.Index)
+			}
+			stack = append(stack, e.To)
+		}
+		for _, e := range blk.Preds {
+			if e.To != blk {
+				return fmt.Errorf("cfg: block b%d holds pred edge whose To is b%d", blk.Index, e.To.Index)
+			}
+			if !containsEdge(e.From.Succs, e) {
+				return fmt.Errorf("cfg: pred edge b%d→b%d missing from source's succs", e.From.Index, blk.Index)
+			}
+		}
+	}
+	for _, blk := range c.Blocks {
+		if !reached[blk] {
+			return fmt.Errorf("cfg: block b%d (%s) unreachable from entry", blk.Index, blk.What)
+		}
+	}
+	return nil
+}
+
+func containsEdge(edges []*Edge, e *Edge) bool {
+	for _, x := range edges {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the CFG deterministically for golden tests:
+// one block per line with its nodes and kind-annotated successors.
+func (c *CFG) String(fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, blk := range c.Blocks {
+		fmt.Fprintf(&sb, "b%d", blk.Index)
+		if blk.What != "" {
+			fmt.Fprintf(&sb, " %s", blk.What)
+		}
+		sb.WriteString(":")
+		for _, n := range blk.Nodes {
+			fmt.Fprintf(&sb, " {%s}", renderNode(fset, n))
+		}
+		succs := append([]*Edge(nil), blk.Succs...)
+		sort.SliceStable(succs, func(i, j int) bool { return succs[i].To.Index < succs[j].To.Index })
+		for _, e := range succs {
+			switch e.Kind {
+			case EdgeFlow:
+				fmt.Fprintf(&sb, " ->b%d", e.To.Index)
+			case EdgeTrue:
+				fmt.Fprintf(&sb, " T->b%d", e.To.Index)
+			case EdgeFalse:
+				fmt.Fprintf(&sb, " F->b%d", e.To.Index)
+			case EdgeCase:
+				fmt.Fprintf(&sb, " C->b%d", e.To.Index)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// renderNode prints one AST node on a single line.
+func renderNode(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	s := buf.String()
+	s = strings.ReplaceAll(s, "\n", " ")
+	s = strings.ReplaceAll(s, "\t", "")
+	return s
+}

@@ -3,6 +3,7 @@ package analysis_test
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/analysis"
@@ -77,5 +78,120 @@ func keys(m map[int]int) []int {
 	findings := analyzeSynthetic(t, "repro/internal/fssga", unsorted)
 	if len(findings) != 1 || findings[0].Analyzer != "maporder" {
 		t.Fatalf("findings = %v, want exactly one maporder diagnostic", findings)
+	}
+}
+
+// byAnalyzer filters findings to one analyzer's.
+func byAnalyzer(findings []analysis.Finding, name string) []analysis.Finding {
+	var out []analysis.Finding
+	for _, f := range findings {
+		if f.Analyzer == name {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Acceptance pin: an order-dependent ForEach fold added to a real
+// automaton package must fail the lint gate.
+func TestInjectedOrderDependentFoldIsFlagged(t *testing.T) {
+	findings := analyzeSynthetic(t, "repro/internal/algo/randomwalk", `package randomwalk
+
+import (
+	"math/rand"
+
+	"repro/internal/fssga"
+)
+
+type S int8
+
+func lastSeen(self S, view *fssga.View[S], rnd *rand.Rand) S {
+	var last S
+	view.ForEach(func(t S, _ int) {
+		last = t
+	})
+	return last
+}
+`)
+	got := byAnalyzer(findings, "symcontract")
+	if len(got) != 1 || !strings.Contains(got[0].Message, "depends on iteration order") {
+		t.Fatalf("findings = %v, want one symcontract order-dependence diagnostic", findings)
+	}
+}
+
+// Acceptance pin: an observation cap that data-flows from the network
+// size must fail the lint gate, through a constructor + struct-field
+// chain the flow-insensitive taint summary has to follow.
+func TestInjectedNSizeCapIsFlagged(t *testing.T) {
+	findings := analyzeSynthetic(t, "repro/internal/algo/census", `package census
+
+import (
+	"math/rand"
+
+	"repro/internal/fssga"
+	"repro/internal/graph"
+)
+
+type S int8
+
+type auto struct{ cap int }
+
+func newAuto(g *graph.Graph) auto { return auto{cap: g.NumNodes()} }
+
+func (a auto) Step(self S, view *fssga.View[S], rnd *rand.Rand) S {
+	if view.Count(a.cap, func(s S) bool { return s > 0 }) > 0 {
+		return 1
+	}
+	return self
+}
+`)
+	sym := byAnalyzer(findings, "symcontract")
+	if len(sym) != 1 || !strings.Contains(sym[0].Message, "derives from the network size") {
+		t.Fatalf("findings = %v, want one symcontract n-taint diagnostic", findings)
+	}
+	cap := byAnalyzer(findings, "capinfer")
+	if len(cap) != 1 || !strings.Contains(cap[0].Message, "cannot infer a bounded footprint") {
+		t.Fatalf("findings = %v, want one capinfer unbounded-footprint diagnostic", findings)
+	}
+}
+
+// Acceptance pin: unclamped arithmetic on returned state must fail the
+// lint gate, while the mod-reduced original stays clean.
+func TestInjectedUnboundedStateArithmeticIsFlagged(t *testing.T) {
+	const clamped = `package synchronizer
+
+import (
+	"math/rand"
+
+	"repro/internal/fssga"
+)
+
+type S int8
+
+func tick(self S, view *fssga.View[S], rnd *rand.Rand) S {
+	return (self + 1) % 4
+}
+`
+	if findings := analyzeSynthetic(t, "repro/internal/algo/synchronizer", clamped); len(findings) != 0 {
+		t.Fatalf("mod-reduced step wrongly flagged: %v", findings)
+	}
+	const unclamped = `package synchronizer
+
+import (
+	"math/rand"
+
+	"repro/internal/fssga"
+)
+
+type S int8
+
+func tick(self S, view *fssga.View[S], rnd *rand.Rand) S {
+	return self + 1
+}
+`
+	findings := analyzeSynthetic(t, "repro/internal/algo/synchronizer", unclamped)
+	fin := byAnalyzer(findings, "finstate")
+	if len(fin) != 1 || !strings.Contains(fin[0].Message, "grows without bound") {
+		t.Fatalf("findings = %v, want one finstate unbounded-growth diagnostic", findings)
 	}
 }

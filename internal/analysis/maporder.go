@@ -174,13 +174,21 @@ func insideNode(n ast.Node, pos token.Pos) bool {
 // function calls into package sort or slices with obj among the call's
 // arguments (e.g. sort.Ints(xs), sort.Slice(xs, less), slices.Sort(xs)).
 func sortedAfter(info *types.Info, encl ast.Node, rs *ast.RangeStmt, obj types.Object) bool {
+	return sortedAfterPos(info, encl, rs.End(), obj)
+}
+
+// sortedAfterPos is sortedAfter anchored on a position: it reports a
+// sort/slices call over obj occurring in encl at or after pos. The
+// symcontract fold checker shares it to sanction the collect-then-sort
+// idiom for ForEach accumulators.
+func sortedAfterPos(info *types.Info, encl ast.Node, pos token.Pos, obj types.Object) bool {
 	found := false
 	ast.Inspect(encl, func(n ast.Node) bool {
 		if found {
 			return false
 		}
 		call, ok := n.(*ast.CallExpr)
-		if !ok || call.Pos() < rs.End() {
+		if !ok || call.Pos() < pos {
 			return true
 		}
 		fn, pkg := pkgLevelFunc(info, call)

@@ -1,0 +1,9 @@
+// Package auditstale is an audit fixture: its only directive sits on a
+// line where no analyzer fires any more, so fssga-vet -audit must call
+// it stale and exit non-zero.
+package auditstale
+
+func clean() int {
+	//fssga:nondet left behind after the offending call was removed
+	return 42
+}

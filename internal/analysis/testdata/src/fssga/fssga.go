@@ -5,8 +5,10 @@
 // trigger from outside its package.
 package fssga
 
-// View mimics the engine's neighbourhood observation.
-type View[S comparable] struct {
+// View mimics the engine's neighbourhood observation. The constraint
+// is any (not the engine's comparable) so finstate fixtures can build
+// deliberately infinite state types the real engine would reject.
+type View[S any] struct {
 	Total int // exported so fixtures can attempt field writes
 }
 

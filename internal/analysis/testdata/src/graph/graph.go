@@ -1,0 +1,19 @@
+// Package graph is a miniature stand-in for repro/internal/graph used
+// by analysis fixtures: only the network-size accessors matter, since
+// they are the taint sources of the interprocedural n-size summary.
+package graph
+
+// Graph mimics the engine's graph type.
+type Graph struct {
+	n int
+}
+
+// New builds a graph stand-in with n nodes.
+func New(n int) *Graph { return &Graph{n: n} }
+
+func (g *Graph) NumNodes() int    { return g.n }
+func (g *Graph) NumEdges() int    { return 0 }
+func (g *Graph) Cap() int         { return g.n }
+func (g *Graph) Degree(v int) int { return 0 }
+func (g *Graph) MaxDegree() int   { return 0 }
+func (g *Graph) AliveIDs() []int  { return nil }

@@ -121,7 +121,7 @@ func hittingTime(g *graph.Graph, from, to, maxSteps int, rng *rand.Rand) (int, b
 		if pos == to {
 			return s, true
 		}
-		ns := g.NeighborsSorted(pos)
+		ns := g.SortedNeighbors(pos, nil)
 		if len(ns) == 0 {
 			return s, false
 		}

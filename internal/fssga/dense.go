@@ -74,7 +74,7 @@ func (net *Network[S]) newScratch() *viewScratch[S] {
 // only until the next buildView on the same scratch, which is exactly the
 // duration of one Step call.
 func (net *Network[S]) buildView(sc *viewScratch[S], v int, snapshot []S) *View[S] {
-	sc.nbr = net.G.Neighbors(v, sc.nbr[:0])
+	sc.nbr = net.G.SortedNeighbors(v, sc.nbr[:0])
 	if sc.dense != nil {
 		for _, i := range sc.presIdx {
 			sc.dense[i] = 0

@@ -105,7 +105,7 @@ func TestDenseViewObservations(t *testing.T) {
 	for v := 0; v < g.Cap(); v++ {
 		got := net.buildView(sc, v, net.states)
 		var nbrStates []int
-		for _, u := range g.NeighborsSorted(v) {
+		for _, u := range g.SortedNeighbors(v, nil) {
 			nbrStates = append(nbrStates, net.states[u])
 		}
 		want := NewView(nbrStates)

@@ -95,7 +95,7 @@ func TestFrontierMatchesFullRoundsWithFaults(t *testing.T) {
 		runGuardedFull(ref, 400)
 		fr.RunSyncUntilQuiescent(400)
 		victim := 1 + rng.Intn(35)
-		for _, u := range ref.G.NeighborsSorted(victim) {
+		for _, u := range ref.G.SortedNeighbors(victim, nil) {
 			ref.G.RemoveEdge(victim, u)
 			fr.G.RemoveEdge(victim, u)
 		}

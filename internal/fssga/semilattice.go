@@ -25,6 +25,7 @@ type SemiLattice[S comparable] struct {
 func (l SemiLattice[S]) Step(self S, view *View[S], rnd *rand.Rand) S {
 	out := self
 	view.ForEach(func(s S, _ int) {
+		//fssga:nondet Join is commutative and associative by the SemiLattice contract (verified per instance by CheckSemiLattice), so the fold result is order-independent
 		out = l.Join(out, s)
 	})
 	return out

@@ -18,7 +18,11 @@ import (
 //
 // The zero value is an empty graph; use New to allocate nodes.
 type Graph struct {
-	adj    []map[int]struct{}
+	// adj[v] lists the live neighbours of v in increasing order. Sorted
+	// slices make every traversal deterministic by construction (no map
+	// iteration anywhere on the simulation path) and keep membership
+	// tests O(log d) via binary search.
+	adj    [][]int
 	alive  []bool
 	nAlive int
 	mAlive int
@@ -31,12 +35,11 @@ func New(n int) *Graph {
 		panic(fmt.Sprintf("graph: negative node count %d", n))
 	}
 	g := &Graph{
-		adj:    make([]map[int]struct{}, n),
+		adj:    make([][]int, n),
 		alive:  make([]bool, n),
 		nAlive: n,
 	}
-	for i := range g.adj {
-		g.adj[i] = make(map[int]struct{})
+	for i := range g.alive {
 		g.alive[i] = true
 	}
 	return g
@@ -71,11 +74,11 @@ func (g *Graph) AddEdge(u, v int) {
 	if !g.Alive(u) || !g.Alive(v) {
 		panic(fmt.Sprintf("graph: AddEdge(%d, %d) with dead or out-of-range endpoint", u, v))
 	}
-	if _, ok := g.adj[u][v]; ok {
+	var inserted bool
+	if g.adj[u], inserted = insertSorted(g.adj[u], v); !inserted {
 		return
 	}
-	g.adj[u][v] = struct{}{}
-	g.adj[v][u] = struct{}{}
+	g.adj[v], _ = insertSorted(g.adj[v], u)
 	g.mAlive++
 }
 
@@ -91,8 +94,8 @@ func (g *Graph) HasEdge(u, v int) bool {
 	if !g.Alive(u) || !g.Alive(v) {
 		return false
 	}
-	_, ok := g.adj[u][v]
-	return ok
+	i := sort.SearchInts(g.adj[u], v)
+	return i < len(g.adj[u]) && g.adj[u][i] == v
 }
 
 // RemoveEdge deletes the edge {u, v} if present, reporting whether an edge
@@ -101,8 +104,8 @@ func (g *Graph) RemoveEdge(u, v int) bool {
 	if !g.HasEdge(u, v) {
 		return false
 	}
-	delete(g.adj[u], v)
-	delete(g.adj[v], u)
+	g.adj[u] = removeSorted(g.adj[u], v)
+	g.adj[v] = removeSorted(g.adj[v], u)
 	g.mAlive--
 	return true
 }
@@ -113,11 +116,11 @@ func (g *Graph) RemoveNode(v int) bool {
 	if !g.Alive(v) {
 		return false
 	}
-	for u := range g.adj[v] {
-		delete(g.adj[u], v)
+	for _, u := range g.adj[v] {
+		g.adj[u] = removeSorted(g.adj[u], v)
 		g.mAlive--
 	}
-	g.adj[v] = make(map[int]struct{})
+	g.adj[v] = nil
 	g.alive[v] = false
 	g.nAlive--
 	return true
@@ -142,23 +145,15 @@ func (g *Graph) MaxDegree() int {
 	return max
 }
 
-// Neighbors appends the live neighbours of v to buf and returns the extended
-// slice. The order is unspecified; callers needing determinism should sort.
-func (g *Graph) Neighbors(v int, buf []int) []int {
+// SortedNeighbors appends the live neighbours of v, in increasing order,
+// to buf and returns the extended slice. The adjacency lists are kept
+// sorted, so this is a copy, not a sort; passing buf[:0] makes the hot
+// path allocation-free.
+func (g *Graph) SortedNeighbors(v int, buf []int) []int {
 	if !g.Alive(v) {
 		return buf
 	}
-	for u := range g.adj[v] {
-		buf = append(buf, u) //fssga:nondet documented-unordered API; deterministic callers use NeighborsSorted or consume the result as a multiset
-	}
-	return buf
-}
-
-// NeighborsSorted returns the live neighbours of v in increasing order.
-func (g *Graph) NeighborsSorted(v int) []int {
-	ns := g.Neighbors(v, nil)
-	sort.Ints(ns)
-	return ns
+	return append(buf, g.adj[v]...)
 }
 
 // Nodes appends the IDs of all live nodes, in increasing order, to buf.
@@ -186,40 +181,35 @@ func NormEdge(u, v int) Edge {
 
 // Edges returns all live edges in canonical, sorted order.
 func (g *Graph) Edges() []Edge {
+	// Ascending v over ascending adj[v] yields canonical sorted order
+	// directly; no sort needed.
 	es := make([]Edge, 0, g.mAlive)
 	for v := range g.adj {
 		if !g.alive[v] {
 			continue
 		}
-		for u := range g.adj[v] {
+		for _, u := range g.adj[v] {
 			if v < u {
 				es = append(es, Edge{v, u})
 			}
 		}
 	}
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].U != es[j].U {
-			return es[i].U < es[j].U
-		}
-		return es[i].V < es[j].V
-	})
 	return es
 }
 
 // Clone returns a deep copy, preserving dead nodes and the sealed flag.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
-		adj:    make([]map[int]struct{}, len(g.adj)),
+		adj:    make([][]int, len(g.adj)),
 		alive:  make([]bool, len(g.alive)),
 		nAlive: g.nAlive,
 		mAlive: g.mAlive,
 		sealed: g.sealed,
 	}
 	copy(c.alive, g.alive)
-	for v, set := range g.adj {
-		c.adj[v] = make(map[int]struct{}, len(set))
-		for u := range set {
-			c.adj[v][u] = struct{}{}
+	for v, ns := range g.adj {
+		if len(ns) > 0 {
+			c.adj[v] = append([]int(nil), ns...)
 		}
 	}
 	return c
@@ -230,11 +220,14 @@ func (g *Graph) Clone() *Graph {
 // violation found, or nil. It is used by property-based tests.
 func (g *Graph) Validate() error {
 	m2 := 0
-	for v, set := range g.adj {
-		if !g.alive[v] && len(set) != 0 {
-			return fmt.Errorf("graph: dead node %d has %d neighbours", v, len(set))
+	for v, ns := range g.adj {
+		if !g.alive[v] && len(ns) != 0 {
+			return fmt.Errorf("graph: dead node %d has %d neighbours", v, len(ns))
 		}
-		for u := range set {
+		for i, u := range ns {
+			if i > 0 && ns[i-1] >= u {
+				return fmt.Errorf("graph: adjacency of %d not strictly sorted at %d", v, u)
+			}
 			if u == v {
 				return fmt.Errorf("graph: self-loop at %d", v)
 			}
@@ -244,7 +237,7 @@ func (g *Graph) Validate() error {
 			if !g.alive[u] {
 				return fmt.Errorf("graph: live node %d adjacent to dead node %d", v, u)
 			}
-			if _, ok := g.adj[u][v]; !ok {
+			if !g.HasEdge(u, v) {
 				return fmt.Errorf("graph: asymmetric edge (%d,%d)", v, u)
 			}
 			m2++
@@ -268,4 +261,26 @@ func (g *Graph) Validate() error {
 // String returns a short human-readable summary.
 func (g *Graph) String() string {
 	return fmt.Sprintf("graph{n=%d m=%d cap=%d}", g.nAlive, g.mAlive, len(g.adj))
+}
+
+// insertSorted inserts x into sorted slice ns, reporting whether it was
+// absent (and therefore inserted).
+func insertSorted(ns []int, x int) ([]int, bool) {
+	i := sort.SearchInts(ns, x)
+	if i < len(ns) && ns[i] == x {
+		return ns, false
+	}
+	ns = append(ns, 0)
+	copy(ns[i+1:], ns[i:])
+	ns[i] = x
+	return ns, true
+}
+
+// removeSorted deletes x from sorted slice ns if present.
+func removeSorted(ns []int, x int) []int {
+	i := sort.SearchInts(ns, x)
+	if i >= len(ns) || ns[i] != x {
+		return ns
+	}
+	return append(ns[:i], ns[i+1:]...)
 }

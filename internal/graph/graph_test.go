@@ -157,7 +157,7 @@ func TestDegreeAndNeighbors(t *testing.T) {
 	if g.Degree(3) != 1 {
 		t.Fatalf("leaf degree = %d, want 1", g.Degree(3))
 	}
-	ns := g.NeighborsSorted(0)
+	ns := g.SortedNeighbors(0, nil)
 	want := []int{1, 2, 3, 4, 5}
 	if len(ns) != len(want) {
 		t.Fatalf("neighbors = %v, want %v", ns, want)
@@ -175,11 +175,11 @@ func TestDegreeAndNeighbors(t *testing.T) {
 func TestNeighborsReusesBuffer(t *testing.T) {
 	g := Path(4)
 	buf := make([]int, 0, 8)
-	buf = g.Neighbors(1, buf)
+	buf = g.SortedNeighbors(1, buf)
 	if len(buf) != 2 {
 		t.Fatalf("len = %d, want 2", len(buf))
 	}
-	buf = g.Neighbors(2, buf[:0])
+	buf = g.SortedNeighbors(2, buf[:0])
 	if len(buf) != 2 {
 		t.Fatalf("reuse len = %d, want 2", len(buf))
 	}

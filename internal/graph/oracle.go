@@ -34,7 +34,7 @@ func (g *Graph) Connected() bool {
 		v := queue[0]
 		queue = queue[1:]
 		seen++
-		for _, u := range g.NeighborsSorted(v) {
+		for _, u := range g.SortedNeighbors(v, nil) {
 			if !visited[u] {
 				visited[u] = true
 				queue = append(queue, u)
@@ -60,7 +60,7 @@ func (g *Graph) Components() [][]int {
 			v := queue[0]
 			queue = queue[1:]
 			comp = append(comp, v)
-			for _, u := range g.NeighborsSorted(v) {
+			for _, u := range g.SortedNeighbors(v, nil) {
 				if !visited[u] {
 					visited[u] = true
 					queue = append(queue, u)
@@ -88,7 +88,7 @@ func (g *Graph) ComponentOf(v int) []int {
 		w := queue[0]
 		queue = queue[1:]
 		comp = append(comp, w)
-		for _, u := range g.NeighborsSorted(w) {
+		for _, u := range g.SortedNeighbors(w, nil) {
 			if !visited[u] {
 				visited[u] = true
 				queue = append(queue, u)
@@ -117,7 +117,7 @@ func (g *Graph) BFSDistances(sources ...int) []int {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, u := range g.NeighborsSorted(v) {
+		for _, u := range g.SortedNeighbors(v, nil) {
 			if dist[u] == Unreachable {
 				dist[u] = dist[v] + 1
 				queue = append(queue, u)
@@ -187,7 +187,7 @@ func (g *Graph) Bridges() []Edge {
 		timer++
 		disc[root] = timer
 		low[root] = timer
-		stack := []frame{{v: root, iter: g.NeighborsSorted(root)}}
+		stack := []frame{{v: root, iter: g.SortedNeighbors(root, nil)}}
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
 			if f.index < len(f.iter) {
@@ -198,7 +198,7 @@ func (g *Graph) Bridges() []Edge {
 					timer++
 					disc[u] = timer
 					low[u] = timer
-					stack = append(stack, frame{v: u, iter: g.NeighborsSorted(u)})
+					stack = append(stack, frame{v: u, iter: g.SortedNeighbors(u, nil)})
 				} else if u != parent[f.v] {
 					if disc[u] < low[f.v] {
 						low[f.v] = disc[u]
@@ -267,7 +267,7 @@ func (g *Graph) TwoColor() ([]int, bool) {
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
-			for _, u := range g.NeighborsSorted(v) {
+			for _, u := range g.SortedNeighbors(v, nil) {
 				if colors[u] == Unreachable {
 					colors[u] = 1 - colors[v]
 					queue = append(queue, u)
@@ -302,7 +302,7 @@ func (g *Graph) SpanningTree(root int) []int {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, u := range g.NeighborsSorted(v) {
+		for _, u := range g.SortedNeighbors(v, nil) {
 			if parent[u] == Unreachable {
 				parent[u] = v
 				queue = append(queue, u)

@@ -123,7 +123,7 @@ func (run *Run) applicable(r Rule) (bool, []int) {
 	}
 	if r.CondLabel != NoCond {
 		present := false
-		for _, u := range run.G.NeighborsSorted(run.Pos) {
+		for _, u := range run.G.SortedNeighbors(run.Pos, nil) {
 			if run.Labels[u] == r.CondLabel {
 				present = true
 				break
@@ -137,7 +137,7 @@ func (run *Run) applicable(r Rule) (bool, []int) {
 		return true, nil
 	}
 	var cands []int
-	for _, u := range run.G.NeighborsSorted(run.Pos) {
+	for _, u := range run.G.SortedNeighbors(run.Pos, nil) {
 		if run.Labels[u] == r.MoveLabel {
 			cands = append(cands, u)
 		}
@@ -214,10 +214,10 @@ func SimulateRound(g *graph.Graph, auto *fssga.FormalAutomaton, states []int) (n
 		prev = v
 		// Collect the neighbour multiset one incident edge at a time.
 		var qs []int
-		for range g.NeighborsSorted(v) {
+		for range g.SortedNeighbors(v, nil) {
 			agentSteps += 2 // out along the edge and back
 		}
-		for _, u := range g.NeighborsSorted(v) {
+		for _, u := range g.SortedNeighbors(v, nil) {
 			qs = append(qs, states[u])
 		}
 		// Evaluate f[q] like the node would (deterministic automata only).

@@ -115,6 +115,7 @@ func (a simAutomaton) contestantStep(self SimState, view *fssga.View[SimState], 
 	sawAgent := false
 	view.ForEach(func(t SimState, _ int) {
 		if t.Agent {
+			//fssga:nondet the IWA simulation keeps exactly one agent alive, so at most one agent state is visible and the overwrite is conflict-free
 			agent = t
 			sawAgent = true
 		}

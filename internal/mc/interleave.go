@@ -110,7 +110,7 @@ func Explore[S comparable](m Model[S]) Report {
 	}
 	for _, v := range e.nodes {
 		mask := e.enabled &^ (1 << uint(v))
-		for _, u := range m.G.NeighborsSorted(v) {
+		for _, u := range m.G.SortedNeighbors(v, nil) {
 			mask &^= 1 << uint(u)
 		}
 		e.indep[v] = mask
@@ -150,7 +150,7 @@ func (e *explorer[S]) step(v int, states []S) S {
 
 func (e *explorer[S]) neighborStates(v int, states []S) []S {
 	var ns []S
-	for _, u := range e.m.G.NeighborsSorted(v) {
+	for _, u := range e.m.G.SortedNeighbors(v, nil) {
 		ns = append(ns, states[u])
 	}
 	return ns

@@ -413,7 +413,7 @@ func electionPair() Pair {
 				d := chaos.NewDigest()
 				d.Int(v)
 				d.String(fmt.Sprintf("%v", states[v]))
-				for _, u := range g.NeighborsSorted(v) {
+				for _, u := range g.SortedNeighbors(v, nil) {
 					d.String(fmt.Sprintf("%v", states[u]))
 				}
 				return rand.New(rand.NewSource(int64(d.Sum())))

@@ -1,0 +1,144 @@
+package mc_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/mc"
+)
+
+// TestDeriveWitnesses pins the dynamically minimal saturation witness
+// for every registered target. These are the ground-truth Theorem 3.7
+// bounds the static capinfer contracts are checked against.
+func TestDeriveWitnesses(t *testing.T) {
+	want := map[string]mc.Witness{
+		"(repro/internal/algo/twocolor.automaton).Step":     {Thresh: 1, Mod: 1},
+		"(repro/internal/algo/shortestpath.automaton).Step": {Thresh: 1, Mod: 1},
+		"(repro/internal/algo/census.automaton).Step":       {Thresh: 1, Mod: 1},
+		"(repro/internal/algo/bfs.automaton).Step":          {Thresh: 1, Mod: 1},
+		"(*repro/internal/fssga.FormalAutomaton).Step":      {Thresh: 1, Mod: 1},
+		"(repro/internal/mc.parityAutomaton).Step":          {Thresh: 0, Mod: 2},
+	}
+	targets := mc.WitnessTargets()
+	if len(targets) != len(want) {
+		t.Fatalf("WitnessTargets() has %d entries, want %d", len(targets), len(want))
+	}
+	for _, tgt := range targets {
+		tgt := tgt
+		t.Run(tgt.Name, func(t *testing.T) {
+			w, ok := want[tgt.Name]
+			if !ok {
+				t.Fatalf("unexpected target %q", tgt.Name)
+			}
+			got, err := mc.DeriveWitness(tgt)
+			if err != nil {
+				t.Fatalf("DeriveWitness: %v", err)
+			}
+			if got != w {
+				t.Errorf("witness = %v, want %v", got, w)
+			}
+		})
+	}
+}
+
+// TestWitnessesMatchStaticContracts is the meet-in-the-middle check:
+// for every target whose capinfer contract claims a bounded non-escaping
+// footprint, the dynamically minimal witness must fit under the static
+// caps — threshold at most the largest declared threshold, and period
+// dividing the least common multiple of the declared moduli.
+func TestWitnessesMatchStaticContracts(t *testing.T) {
+	l := analysis.NewLoader("")
+	units, err := l.LoadPatterns("repro/internal/...")
+	if err != nil {
+		t.Fatalf("LoadPatterns: %v", err)
+	}
+	contracts := analysis.InferContracts(units)
+	byName := make(map[string]analysis.Contract, len(contracts))
+	for _, c := range contracts {
+		byName[c.Automaton] = c
+	}
+	for _, tgt := range mc.WitnessTargets() {
+		tgt := tgt
+		t.Run(tgt.Name, func(t *testing.T) {
+			c, ok := byName[tgt.Name]
+			if !ok {
+				t.Fatalf("no static contract inferred for %q; have %v", tgt.Name, contractNames(contracts))
+			}
+			if !c.Bounded {
+				t.Fatalf("static contract claims unbounded footprint, but the target is registered as enumerable")
+			}
+			w, err := mc.DeriveWitness(tgt)
+			if err != nil {
+				t.Fatalf("DeriveWitness: %v", err)
+			}
+			if c.ForEach {
+				// Escaping or ForEach-using steps make no per-call cap
+				// claim; the dynamic witness existing at all is the check.
+				return
+			}
+			maxThresh := 0
+			for _, th := range c.Thresh {
+				if th > maxThresh {
+					maxThresh = th
+				}
+			}
+			if w.Thresh > maxThresh {
+				t.Errorf("dynamic threshold %d exceeds static cap %d (contract %+v)", w.Thresh, maxThresh, c)
+			}
+			modLCM := 1
+			for _, m := range c.Mods {
+				modLCM = lcm(modLCM, m)
+			}
+			if modLCM%w.Mod != 0 {
+				t.Errorf("dynamic period %d does not divide static modulus lcm %d (contract %+v)", w.Mod, modLCM, c)
+			}
+		})
+	}
+}
+
+func contractNames(cs []analysis.Contract) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.Automaton
+	}
+	return out
+}
+
+func lcm(a, b int) int {
+	g, x := a, b
+	for x != 0 {
+		g, x = x, g%x
+	}
+	return a / g * b
+}
+
+// TestDeriveWitnessRejectsUnboundedCounter checks the sweep's honesty:
+// a transition that reports the exact neighbourhood total has no
+// saturating-periodic form within the bound, and DeriveWitness must say
+// so rather than return a vacuous boundary witness.
+func TestDeriveWitnessRejectsUnboundedCounter(t *testing.T) {
+	const maxTotal = 3
+	tgt := mc.WitnessTarget{
+		Name:      "synthetic.totalCounter",
+		NumStates: maxTotal + 1,
+		MaxTotal:  maxTotal,
+		MaxMod:    3,
+		EvalAll: func(counts []int) []int {
+			total := 0
+			for _, c := range counts {
+				total += c
+			}
+			out := make([]int, maxTotal+1)
+			for i := range out {
+				out[i] = total
+			}
+			return out
+		},
+	}
+	if w, err := mc.DeriveWitness(tgt); err == nil {
+		t.Fatalf("DeriveWitness = %v, want error for an exact-count transition", w)
+	} else if !strings.Contains(err.Error(), "no (threshold, period) witness") {
+		t.Fatalf("error = %v, want the no-witness message", err)
+	}
+}

@@ -22,8 +22,11 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
-echo "== fssga-vet (determinism & symmetry analyzers)"
+echo "== fssga-vet (determinism, symmetry & model-contract analyzers)"
 go run ./cmd/fssga-vet repro/...
+
+echo "== fssga-vet -audit (no stale //fssga:nondet directives)"
+go run ./cmd/fssga-vet -audit repro/... > /dev/null
 
 echo "== go test -cover ./... (coverage ratchet)"
 ./scripts/coverage.sh
