@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test cover lint audit contracts race chaos-race chaos-smoke mc-smoke bench perf
+.PHONY: check build test cover lint audit contracts race chaos-race chaos-smoke mc-smoke bench perf bench-perf perf-gate
 
 # Tier-1 verify path (ROADMAP.md): gofmt + build + vet + tests + race.
 check:
@@ -60,6 +60,15 @@ mc-smoke:
 bench:
 	$(GO) test -bench . -benchmem -run xxx .
 
-# Engine perf series (ns/op + allocs/op) recorded to BENCH_engine.json.
-perf:
-	$(GO) run ./cmd/fssga-bench -perf -out BENCH_engine.json
+# Engine perf series (ns/op + allocs/op) recorded to BENCH_engine.json,
+# with the headline subset appended to BENCH_trajectory.json. Serial
+# series are pinned to GOMAXPROCS=1; parallel series run at NumCPU.
+bench-perf:
+	$(GO) run ./cmd/fssga-bench -perf -out BENCH_engine.json -trajectory BENCH_trajectory.json
+
+perf: bench-perf
+
+# The check.sh bench regression gate, standalone: re-measure the headline
+# series and fail if it is >1.6x slower than the committed report.
+perf-gate:
+	$(GO) run ./cmd/fssga-bench -perfgate

@@ -9,6 +9,7 @@
 //	fssga-bench -quick          # reduced sweeps (seconds, not minutes)
 //	fssga-bench -seed=7         # change the master seed
 //	fssga-bench -perf           # engine perf series (ns/op, allocs/op) → JSON
+//	fssga-bench -perfgate       # regression gate vs the committed BENCH_engine.json
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"testing"
 
 	"repro/internal/exp"
 )
@@ -35,12 +37,24 @@ func run(args []string, w io.Writer) int {
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	perf := fs.Bool("perf", false, "run the engine perf suite instead of the experiment tables")
 	out := fs.String("out", "BENCH_engine.json", "output path for the -perf JSON report")
+	trajectory := fs.String("trajectory", "BENCH_trajectory.json", "trajectory file the -perf headline subset is appended to (empty disables)")
+	perfgate := fs.Bool("perfgate", false, "re-measure the headline series and fail on regression vs -baseline")
+	baseline := fs.String("baseline", "BENCH_engine.json", "committed perf report the -perfgate compares against")
+	tolerance := fs.Float64("tolerance", 1.6, "one-sided slowdown factor the -perfgate tolerates")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
+	if *perfgate {
+		if err := runPerfGate(*baseline, *seed, *tolerance, testing.Benchmark, w); err != nil {
+			fmt.Fprintf(w, "fssga-bench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
 	if *perf {
-		if err := runPerf(*seed, *out); err != nil {
+		if err := runPerf(*seed, *out, *trajectory, testing.Benchmark); err != nil {
 			fmt.Fprintf(w, "fssga-bench: perf suite failed: %v\n", err)
 			return 1
 		}

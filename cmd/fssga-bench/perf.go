@@ -3,6 +3,8 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
@@ -20,28 +22,57 @@ import (
 
 // The -perf suite measures the execution engine itself — synchronous-round
 // throughput and allocation behaviour across view representations (dense
-// multiplicity vectors vs the map fallback), worker counts, and the
-// frontier round mode — and appends the series to a BENCH_*.json file so
-// the perf trajectory is recorded alongside the experiment tables.
+// multiplicity vectors vs the map fallback), worker counts on the sharded
+// pool, and the frontier round modes — and writes the series to a
+// BENCH_*.json report plus a headline subset appended to the trajectory
+// file, so the perf history is recorded per PR alongside the experiment
+// tables. scripts/check.sh guards the headline series against the
+// committed report via -perfgate.
 
-// perfResult is one measured series point.
+// perfResult is one measured series point. GOMAXPROCS is recorded per
+// result, not per file: serial series are pinned to one proc while
+// parallel series run at the machine's real CPU count, and a report that
+// claimed a single file-level value would misdescribe one or the other.
 type perfResult struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	Iterations  int     `json:"iterations"`
+	Gomaxprocs  int     `json:"gomaxprocs"`
 }
 
-// perfReport is the BENCH_*.json schema.
+// perfReport is the BENCH_*.json schema, version 2: GOMAXPROCS moved
+// from the file level into each result; NumCPU records the machine.
 type perfReport struct {
-	Schema     string       `json:"schema"`
-	Generated  string       `json:"generated"`
-	GoVersion  string       `json:"go_version"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	Seed       int64        `json:"seed"`
-	Results    []perfResult `json:"results"`
+	Schema    string       `json:"schema"`
+	Generated string       `json:"generated"`
+	GoVersion string       `json:"go_version"`
+	NumCPU    int          `json:"num_cpu"`
+	Seed      int64        `json:"seed"`
+	Results   []perfResult `json:"results"`
 }
+
+const perfSchema = "fssga-bench/perf/v2"
+
+// headlineSeries is the series the -perfgate regression gate re-measures
+// and compares against the committed report.
+const headlineSeries = "SyncRound/lattice/dense/n=2048"
+
+// trajectoryHeadline is the subset of series names recorded per -perf
+// run in the trajectory file: the gate's guarded serial series, the
+// parallel scaling endpoints, and the million-node runs.
+var trajectoryHeadline = []string{
+	headlineSeries,
+	"SyncRoundParallel/lattice/dense/n=65536/w=1",
+	"SyncRoundParallel/lattice/dense/n=65536/w=8",
+	"SyncRound/lattice/dense/n=1048576",
+	"SyncRoundParallel/lattice/dense/n=1048576/w=8",
+}
+
+// measureFunc runs one benchmark body; testing.Benchmark in production,
+// a fake in tests so the suite's plumbing is testable in milliseconds.
+type measureFunc func(fn func(b *testing.B)) testing.BenchmarkResult
 
 // lattice is the perf suite's reference dense automaton: max-diffusion
 // over states 0..K-1, implemented with closure-free observations so the
@@ -60,6 +91,19 @@ func (l lattice) Step(self int, view *fssga.View[int], rnd *rand.Rand) int {
 	return self
 }
 
+const latticeK = 16
+
+// latticeNet builds the lattice-diffusion network for the G(n, p) series.
+// The graph seed is derived from (seed, n) alone — not from a shared
+// stream consumed by earlier series — so the -perfgate re-measurement
+// reconstructs the exact headline workload without running the rest of
+// the suite.
+func latticeNet(seed int64, n int) *fssga.Network[int] {
+	rng := rand.New(rand.NewSource(seed + int64(n)))
+	g := graph.RandomConnectedGNP(n, 8.0/float64(n), rng)
+	return fssga.New[int](g, lattice{latticeK}, func(v int) int { return v % latticeK }, seed)
+}
+
 func benchRound[S comparable](net *fssga.Network[S]) func(b *testing.B) {
 	return func(b *testing.B) {
 		b.ReportAllocs()
@@ -71,70 +115,108 @@ func benchRound[S comparable](net *fssga.Network[S]) func(b *testing.B) {
 	}
 }
 
-// runPerf executes the engine perf suite and writes the JSON report.
-func runPerf(seed int64, outPath string) error {
+func benchRoundParallel[S comparable](net *fssga.Network[S], workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		net.SyncRoundParallel(workers) // warm up scratch and the pool
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net.SyncRoundParallel(workers)
+		}
+	}
+}
+
+// withProcs runs fn at the given GOMAXPROCS and restores the old value.
+func withProcs(procs int, fn func()) {
+	old := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(old)
+	fn()
+}
+
+// collectPerf runs the engine perf suite and returns the series.
+// Serial series are pinned to GOMAXPROCS=1; parallel series run at the
+// machine's real CPU count (the former file-level GOMAXPROCS made the
+// parallel numbers meaningless whenever the caller's setting — one proc
+// under the old default — serialised the pool).
+func collectPerf(seed int64, measure measureFunc) []perfResult {
 	var results []perfResult
 	record := func(name string, fn func(b *testing.B)) {
-		r := testing.Benchmark(fn)
+		r := measure(fn)
 		results = append(results, perfResult{
 			Name:        name,
 			NsPerOp:     float64(r.NsPerOp()),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			Iterations:  r.N,
+			Gomaxprocs:  runtime.GOMAXPROCS(0),
 		})
-		fmt.Fprintf(os.Stderr, "%-44s %12.0f ns/op %8d allocs/op %10d B/op\n",
-			name, float64(r.NsPerOp()), r.AllocsPerOp(), r.AllocedBytesPerOp())
+		fmt.Fprintf(os.Stderr, "%-48s %12.0f ns/op %8d allocs/op %10d B/op  procs=%d\n",
+			name, float64(r.NsPerOp()), r.AllocsPerOp(), r.AllocedBytesPerOp(), runtime.GOMAXPROCS(0))
 	}
-
-	rng := rand.New(rand.NewSource(seed))
-	const k = 16
+	serial := func(name string, fn func(b *testing.B)) {
+		withProcs(1, func() { record(name, fn) })
+	}
+	parallel := func(name string, fn func(b *testing.B)) {
+		withProcs(runtime.NumCPU(), func() { record(name, fn) })
+	}
 
 	// 1. Dense vs map view construction on the same workload: one
 	// synchronous round of max-diffusion on a sparse G(n, p). The map
 	// variant hides the DenseAutomaton methods behind StepFunc.
 	for _, n := range []int{512, 2048} {
+		serial(fmt.Sprintf("SyncRound/lattice/dense/n=%d", n),
+			benchRound(latticeNet(seed, n)))
+		rng := rand.New(rand.NewSource(seed + int64(n)))
 		g := graph.RandomConnectedGNP(n, 8.0/float64(n), rng)
-		init := func(v int) int { return v % k }
-		record(fmt.Sprintf("SyncRound/lattice/dense/n=%d", n),
-			benchRound(fssga.New[int](g.Clone(), lattice{k}, init, seed)))
-		record(fmt.Sprintf("SyncRound/lattice/map/n=%d", n),
-			benchRound(fssga.New[int](g.Clone(), fssga.StepFunc[int](lattice{k}.Step), init, seed)))
+		init := func(v int) int { return v % latticeK }
+		serial(fmt.Sprintf("SyncRound/lattice/map/n=%d", n),
+			benchRound(fssga.New[int](g, fssga.StepFunc[int](lattice{latticeK}.Step), init, seed)))
 	}
 
 	// 2. Real algorithm rounds. Census engages the dense path only for
 	// small sketch configurations; election and BFS are always dense.
-	gC := graph.RandomConnectedGNP(512, 0.02, rng)
+	gC := graph.RandomConnectedGNP(512, 0.02, rand.New(rand.NewSource(seed+101)))
 	if net, err := census.NewNetwork(gC.Clone(), census.Config{Bits: 4, Sketches: 3, Seed: seed}); err == nil {
-		record("SyncRound/census/dense/bits=4x3/n=512", benchRound(net))
+		serial("SyncRound/census/dense/bits=4x3/n=512", benchRound(net))
 	}
 	if net, err := census.NewNetwork(gC.Clone(), census.Config{Bits: 14, Sketches: 8, Seed: seed}); err == nil {
-		record("SyncRound/census/map/bits=14x8/n=512", benchRound(net))
+		serial("SyncRound/census/map/bits=14x8/n=512", benchRound(net))
 	}
-	record("SyncRound/election/dense/cycle/n=64",
+	serial("SyncRound/election/dense/cycle/n=64",
 		benchRound(election.New(graph.Cycle(64), seed).Net))
 	if net, err := bfs.NewNetwork(graph.Grid(32, 32), 0, []int{1023}, seed); err == nil {
-		record("SyncRound/bfs/dense/grid/n=1024", benchRound(net))
+		serial("SyncRound/bfs/dense/grid/n=1024", benchRound(net))
 	}
 
-	// 3. Parallel-round scaling with per-worker scratch.
-	gP := graph.RandomConnectedGNP(4096, 0.002, rng)
+	// 3. Sharded-pool scaling on a 256x256 torus lattice, built straight
+	// to CSR. The snapshot is shared across worker counts (it is
+	// immutable); each worker count gets its own network so the pool is
+	// created at exactly that size.
+	init := func(v int) int { return v % latticeK }
+	c64k := graph.TorusCSR(256, 256)
 	for _, workers := range []int{1, 2, 4, 8} {
-		net := fssga.New[int](gP.Clone(), lattice{k}, func(v int) int { return v % k }, seed)
-		w := workers
-		record(fmt.Sprintf("SyncRoundParallel/lattice/dense/n=4096/w=%d", w), func(b *testing.B) {
-			b.ReportAllocs()
-			net.SyncRoundParallel(w)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				net.SyncRoundParallel(w)
-			}
-		})
+		net := fssga.NewFromCSR[int](c64k, lattice{latticeK}, init, seed)
+		parallel(fmt.Sprintf("SyncRoundParallel/lattice/dense/n=65536/w=%d", workers),
+			benchRoundParallel(net, workers))
+		net.Close()
 	}
 
-	// 4. Frontier mode on a quiesced diffusion: re-probing a converged
-	// shortest-path grid is O(n) flag scans for the frontier round versus
-	// a full view rebuild for SyncRound.
+	// 4. The million-node lattice: a 1024x1024 torus, streaming-generated
+	// CSR (the map-backed graph.Graph is never materialised), serial and
+	// at the full worker complement.
+	c1m := graph.TorusCSR(1024, 1024)
+	netSerial := fssga.NewFromCSR[int](c1m, lattice{latticeK}, init, seed)
+	serial("SyncRound/lattice/dense/n=1048576", benchRound(netSerial))
+	netSerial.Close()
+	netPar := fssga.NewFromCSR[int](c1m, lattice{latticeK}, init, seed)
+	parallel("SyncRoundParallel/lattice/dense/n=1048576/w=8",
+		benchRoundParallel(netPar, 8))
+	netPar.Close()
+
+	// 5. Frontier mode on a quiesced diffusion: re-probing a converged
+	// shortest-path grid is O(shards) flag scans for the parallel
+	// frontier round and O(n) for the serial one, versus a full view
+	// rebuild for SyncRound.
 	mkQuiesced := func() *fssga.Network[shortestpath.State] {
 		net, err := shortestpath.NewNetwork(graph.Grid(48, 48), []int{0}, 2304, seed)
 		if err != nil {
@@ -144,23 +226,40 @@ func runPerf(seed int64, outPath string) error {
 		return net
 	}
 	qf := mkQuiesced()
-	record("QuiescedRound/shortestpath/frontier/n=2304", func(b *testing.B) {
+	serial("QuiescedRound/shortestpath/frontier/n=2304", func(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			qf.SyncRoundFrontier()
 		}
 	})
+	qp := mkQuiesced()
+	defer qp.Close()
+	parallel("QuiescedRound/shortestpath/parallel-frontier/n=2304/w=4", func(b *testing.B) {
+		b.ReportAllocs()
+		qp.SyncRoundParallelFrontier(4) // warm up pool + shard metadata
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			qp.SyncRoundParallelFrontier(4)
+		}
+	})
 	qs := mkQuiesced()
-	record("QuiescedRound/shortestpath/full/n=2304", benchRound(qs))
+	serial("QuiescedRound/shortestpath/full/n=2304", benchRound(qs))
 
+	return results
+}
+
+// runPerf executes the engine perf suite, writes the JSON report to
+// outPath, and appends the headline subset to the trajectory file (if
+// trajPath is non-empty).
+func runPerf(seed int64, outPath, trajPath string, measure measureFunc) error {
 	report := perfReport{
-		Schema:     "fssga-bench/perf/v1",
-		Generated:  benchTimestamp(),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Seed:       seed,
-		Results:    results,
+		Schema:    perfSchema,
+		Generated: benchTimestamp(),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Seed:      seed,
+		Results:   collectPerf(seed, measure),
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -170,7 +269,127 @@ func runPerf(seed int64, outPath string) error {
 	if err := os.WriteFile(outPath, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "fssga-bench: wrote %d series to %s\n", len(results), outPath)
+	fmt.Fprintf(os.Stderr, "fssga-bench: wrote %d series to %s\n", len(report.Results), outPath)
+	if trajPath != "" {
+		if err := appendTrajectory(trajPath, report); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fssga-bench: appended headline to %s\n", trajPath)
+	}
+	return nil
+}
+
+// trajectoryEntry is one -perf run's headline subset.
+type trajectoryEntry struct {
+	Generated string             `json:"generated"`
+	GoVersion string             `json:"go_version"`
+	NumCPU    int                `json:"num_cpu"`
+	Seed      int64              `json:"seed"`
+	Headline  map[string]float64 `json:"headline_ns_per_op"`
+}
+
+// trajectoryFile is the BENCH_trajectory.json schema: one entry appended
+// per `make bench-perf`, oldest first, so the headline series' history
+// across PRs is a single committed artifact.
+type trajectoryFile struct {
+	Schema  string            `json:"schema"`
+	Entries []trajectoryEntry `json:"entries"`
+}
+
+const trajectorySchema = "fssga-bench/perf-trajectory/v1"
+
+// appendTrajectory appends the report's headline subset to the
+// trajectory file, creating it if missing.
+func appendTrajectory(path string, report perfReport) error {
+	traj := trajectoryFile{Schema: trajectorySchema}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &traj); err != nil {
+			return fmt.Errorf("trajectory file %s: %w", path, err)
+		}
+		if traj.Schema != trajectorySchema {
+			return fmt.Errorf("trajectory file %s: unknown schema %q", path, traj.Schema)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	head := make(map[string]float64, len(trajectoryHeadline))
+	for _, name := range trajectoryHeadline {
+		for _, r := range report.Results {
+			if r.Name == name {
+				head[name] = r.NsPerOp
+				break
+			}
+		}
+	}
+	traj.Entries = append(traj.Entries, trajectoryEntry{
+		Generated: report.Generated,
+		GoVersion: report.GoVersion,
+		NumCPU:    report.NumCPU,
+		Seed:      report.Seed,
+		Headline:  head,
+	})
+	data, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// runPerfGate is the scripts/check.sh bench regression gate: re-measure
+// the headline series (best of three, pinned to one proc like the
+// recorded baseline) and fail if it is slower than the committed
+// BENCH_engine.json value by more than the tolerance factor, or if the
+// hot path started allocating. One-sided on purpose — a faster machine
+// or a perf win must never fail the build, only a regression.
+func runPerfGate(baselinePath string, seed int64, tolerance float64, measure measureFunc, w io.Writer) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("perf gate: %w", err)
+	}
+	var base perfReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("perf gate: %s: %w", baselinePath, err)
+	}
+	if base.Schema != perfSchema {
+		return fmt.Errorf("perf gate: %s has schema %q, want %q (regenerate with `make bench-perf`)",
+			baselinePath, base.Schema, perfSchema)
+	}
+	var baseline *perfResult
+	for i := range base.Results {
+		if base.Results[i].Name == headlineSeries {
+			baseline = &base.Results[i]
+			break
+		}
+	}
+	if baseline == nil {
+		return fmt.Errorf("perf gate: %s lacks the headline series %q", baselinePath, headlineSeries)
+	}
+
+	best := math.Inf(1)
+	bestAllocs := int64(math.MaxInt64)
+	withProcs(1, func() {
+		net := latticeNet(seed, 2048)
+		for rep := 0; rep < 3; rep++ {
+			r := measure(benchRound(net))
+			if ns := float64(r.NsPerOp()); ns < best {
+				best = ns
+			}
+			if a := r.AllocsPerOp(); a < bestAllocs {
+				bestAllocs = a
+			}
+		}
+	})
+	limit := baseline.NsPerOp * tolerance
+	fmt.Fprintf(w, "perf gate: %s = %.0f ns/op (baseline %.0f, limit %.2fx = %.0f), %d allocs/op (baseline %d)\n",
+		headlineSeries, best, baseline.NsPerOp, tolerance, limit, bestAllocs, baseline.AllocsPerOp)
+	if best > limit {
+		return fmt.Errorf("perf gate: %s regressed: %.0f ns/op exceeds %.2fx the committed %.0f ns/op",
+			headlineSeries, best, tolerance, baseline.NsPerOp)
+	}
+	if bestAllocs > baseline.AllocsPerOp {
+		return fmt.Errorf("perf gate: %s allocates %d objects/op, committed baseline allocates %d",
+			headlineSeries, bestAllocs, baseline.AllocsPerOp)
+	}
 	return nil
 }
 

@@ -40,12 +40,12 @@ type DenseAutomaton[S comparable] interface {
 const MaxDenseStates = 1 << 20
 
 // viewScratch is a per-worker reusable workspace for building Views
-// without allocating: a neighbour buffer, a recycled View, and either a
-// dense multiplicity vector (dense mode) or a cleared-and-reused map (map
-// fallback). Each worker goroutine of SyncRoundParallel owns one; all
-// serial paths share one.
+// without allocating: a recycled View plus either a dense multiplicity
+// vector (dense mode) or a cleared-and-reused map (map fallback). Each
+// worker of the shard pool owns one; all serial paths share one. (No
+// neighbour buffer: views are built directly off the immutable CSR
+// neighbour rows, which need no copying.)
 type viewScratch[S comparable] struct {
-	nbr  []int
 	view View[S]
 
 	counts map[S]int // map fallback: cleared and reused across nodes
@@ -69,19 +69,19 @@ func (net *Network[S]) newScratch() *viewScratch[S] {
 	return sc
 }
 
-// buildView assembles node v's symmetric neighbour view from snapshot
-// into sc. The returned View aliases the scratch buffers: it is valid
-// only until the next buildView on the same scratch, which is exactly the
-// duration of one Step call.
-func (net *Network[S]) buildView(sc *viewScratch[S], v int, snapshot []S) *View[S] {
-	sc.nbr = net.G.SortedNeighbors(v, sc.nbr[:0])
+// buildView assembles a node's symmetric view of the neighbours listed
+// in nbrs (a CSR neighbour row) from snapshot into sc. The returned
+// View aliases the scratch buffers: it is valid only until the next
+// buildView on the same scratch, which is exactly the duration of one
+// Step call.
+func (net *Network[S]) buildView(sc *viewScratch[S], nbrs []int32, snapshot []S) *View[S] {
 	if sc.dense != nil {
 		for _, i := range sc.presIdx {
 			sc.dense[i] = 0
 		}
 		sc.present = sc.present[:0]
 		sc.presIdx = sc.presIdx[:0]
-		for _, u := range sc.nbr {
+		for _, u := range nbrs {
 			s := snapshot[u]
 			i := net.idx(s)
 			if i < 0 || i >= len(sc.dense) {
@@ -95,7 +95,7 @@ func (net *Network[S]) buildView(sc *viewScratch[S], v int, snapshot []S) *View[
 			sc.dense[i]++
 		}
 		sc.view = View[S]{
-			total:   len(sc.nbr),
+			total:   len(nbrs),
 			dense:   sc.dense,
 			present: sc.present,
 			presIdx: sc.presIdx,
@@ -104,10 +104,10 @@ func (net *Network[S]) buildView(sc *viewScratch[S], v int, snapshot []S) *View[
 		return &sc.view
 	}
 	clear(sc.counts)
-	for _, u := range sc.nbr {
+	for _, u := range nbrs {
 		sc.counts[snapshot[u]]++
 	}
-	sc.view = View[S]{counts: sc.counts, total: len(sc.nbr)}
+	sc.view = View[S]{counts: sc.counts, total: len(nbrs)}
 	return &sc.view
 }
 

@@ -103,7 +103,7 @@ func TestDenseViewObservations(t *testing.T) {
 	}
 	sc := net.serialScratch()
 	for v := 0; v < g.Cap(); v++ {
-		got := net.buildView(sc, v, net.states)
+		got := net.buildView(sc, g.CSR().Neighbors(v), net.states)
 		var nbrStates []int
 		for _, u := range g.SortedNeighbors(v, nil) {
 			nbrStates = append(nbrStates, net.states[u])

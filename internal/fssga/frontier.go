@@ -11,9 +11,13 @@ package fssga
 //
 // The frontier bookkeeping is invalidated — forcing one full re-step of
 // every node — whenever states change outside a frontier round (SetState,
-// Activate, full SyncRound/SyncRoundParallel) or the topology shrinks
-// (detected via the live node and edge counts, which any fault changes in
-// the decreasing fault model).
+// Activate, full SyncRound/SyncRoundParallel, a parallel frontier round)
+// or the topology shrinks (detected by CSR snapshot identity: every
+// mutation produces a fresh snapshot).
+//
+// shard.go implements the same idea at shard granularity for the
+// parallel engine (SyncRoundParallelFrontier): whole node ranges are
+// skipped when neither they nor any range adjacent to them changed.
 
 // SyncRoundFrontier performs one frontier-driven synchronous round. It
 // reports whether any state changed; a false return means the network was
@@ -26,22 +30,23 @@ package fssga
 // desynchronizes the per-node streams when quiesced nodes are skipped.
 func (net *Network[S]) SyncRoundFrontier() (changed bool) {
 	// The pre-round hook fires before the staleness check below, so any
-	// topology shrink it performs is caught by the node/edge-count
-	// comparison and forces a full re-step. On a quiescent round (no
-	// commit) the hook fires again with the same round number next call.
+	// topology shrink it performs yields a fresh CSR snapshot and forces
+	// a full re-step. On a quiescent round (no commit) the hook fires
+	// again with the same round number next call.
 	net.beforeRound()
-	n := net.G.Cap()
+	c := net.topo()
+	n := c.Cap()
 	if net.front == nil {
 		net.front = make([]bool, n)
 		net.frontNext = make([]bool, n)
 	}
-	if !net.frontierOK || net.frontNodes != net.G.NumNodes() || net.frontEdges != net.G.NumEdges() {
+	if !net.frontierOK || net.frontCSR != c {
 		for v := range net.front {
 			net.front[v] = true
 		}
 		net.frontierOK = true
 	}
-	net.frontNodes, net.frontEdges = net.G.NumNodes(), net.G.NumEdges()
+	net.frontCSR = c
 
 	sc := net.serialScratch()
 	copy(net.next, net.states)
@@ -49,18 +54,22 @@ func (net *Network[S]) SyncRoundFrontier() (changed bool) {
 		net.frontNext[v] = false
 	}
 	for v := 0; v < n; v++ {
-		if !net.front[v] || !net.G.Alive(v) || net.G.Degree(v) == 0 {
+		if !net.front[v] {
 			continue
 		}
-		view := net.buildView(sc, v, net.states)
+		nbrs := c.Neighbors(v)
+		if len(nbrs) == 0 {
+			continue
+		}
+		view := net.buildView(sc, nbrs, net.states)
 		s := net.auto.Step(net.states[v], view, net.rngs[v])
 		if s != net.states[v] {
 			net.next[v] = s
 			changed = true
 			// The change is visible to v itself and its neighbours next
-			// round; sc.nbr still holds v's neighbour list from buildView.
+			// round.
 			net.frontNext[v] = true
-			for _, u := range sc.nbr {
+			for _, u := range nbrs {
 				net.frontNext[u] = true
 			}
 		}
@@ -73,6 +82,7 @@ func (net *Network[S]) SyncRoundFrontier() (changed bool) {
 	}
 	net.states, net.next = net.next, net.states
 	net.Rounds++
+	net.shardFront.ok = false // shard-granular bookkeeping is now stale
 	if net.OnRound != nil {
 		net.OnRound(net.Rounds)
 	}

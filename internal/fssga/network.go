@@ -1,9 +1,7 @@
 package fssga
 
 import (
-	"fmt"
 	"math/rand"
-	"sync"
 
 	"repro/internal/graph"
 )
@@ -11,10 +9,19 @@ import (
 // Network is a running FSSGA system: a graph whose live nodes each hold a
 // state and share one automaton. The graph may shrink between steps
 // (decreasing benign faults); dead nodes are frozen and skipped.
+//
+// Every execution path reads the topology through an immutable CSR
+// snapshot (graph.CSR): rounds walk two flat int32 arrays instead of
+// making per-node Alive/Degree/SortedNeighbors calls, and the snapshot
+// is re-fetched at each round boundary so fault injection between (or
+// at the start of) rounds is observed exactly once, by the next round.
 type Network[S comparable] struct {
 	// G is the (mutable) topology. Callers may remove nodes/edges between
-	// steps to inject faults; they must never grow it.
+	// steps to inject faults; they must never grow it. G is nil for
+	// networks built by NewFromCSR, whose topology is a static snapshot.
 	G *graph.Graph
+
+	csr *graph.CSR // static topology when G == nil (NewFromCSR)
 
 	auto   Automaton[S]
 	states []S
@@ -28,14 +35,20 @@ type Network[S comparable] struct {
 	idx       func(S) int
 
 	serial  *viewScratch[S]   // shared by all serial execution paths
-	workers []*viewScratch[S] // one per goroutine of SyncRoundParallel
+	workers []*viewScratch[S] // one per worker of the shard pool
 
-	// Frontier round mode (see frontier.go).
+	// Persistent shard pool for parallel rounds (see shard.go).
+	pool *shardPool
+
+	// Serial frontier round mode (see frontier.go).
 	front      []bool
 	frontNext  []bool
 	frontierOK bool
-	frontNodes int
-	frontEdges int
+	frontCSR   *graph.CSR
+
+	// Shard-granular frontier state for parallel frontier rounds (see
+	// shard.go).
+	shardFront shardFrontier
 
 	// Rounds counts completed synchronous rounds; Activations counts
 	// single-node asynchronous activations.
@@ -66,9 +79,33 @@ type Network[S comparable] struct {
 // fast path); otherwise the map fallback is used. Both representations
 // expose identical observations, so the choice never changes results.
 func New[S comparable](g *graph.Graph, auto Automaton[S], init func(v int) S, seed int64) *Network[S] {
-	n := g.Cap()
+	net := newNetwork[S](g, g.CSR(), auto, init, seed)
+	net.csr = nil // always re-snapshot from the mutable graph
+	return net
+}
+
+// NewFromCSR creates a network directly over an immutable CSR snapshot,
+// bypassing the mutable graph.Graph entirely. This is the entry point
+// for million-node topologies built by the streaming generators
+// (graph.GridCSR, graph.TorusCSR, graph.CycleCSR): no per-node
+// adjacency slices are ever materialized and the topology is fixed for
+// the network's lifetime — fault injection needs a mutable graph, so
+// use New for that. The G field of the returned network is nil.
+//
+// Execution semantics, view representations, and per-node random
+// streams are identical to New over a graph with the same topology:
+// given equal seeds the two produce bit-identical runs.
+func NewFromCSR[S comparable](c *graph.CSR, auto Automaton[S], init func(v int) S, seed int64) *Network[S] {
+	return newNetwork[S](nil, c, auto, init, seed)
+}
+
+// newNetwork is the shared constructor: c is the initial topology
+// snapshot (kept as the static topology iff g is nil).
+func newNetwork[S comparable](g *graph.Graph, c *graph.CSR, auto Automaton[S], init func(v int) S, seed int64) *Network[S] {
+	n := c.Cap()
 	net := &Network[S]{
 		G:      g,
+		csr:    c,
 		auto:   auto,
 		states: make([]S, n),
 		next:   make([]S, n),
@@ -82,12 +119,23 @@ func New[S comparable](g *graph.Graph, auto Automaton[S], init func(v int) S, se
 		}
 	}
 	for v := 0; v < n; v++ {
-		net.rngs[v] = rand.New(rand.NewSource(mix(seed, int64(v))))
-		if g.Alive(v) {
+		net.rngs[v] = lazyRand(mix(seed, int64(v)))
+		if c.Alive(v) {
 			net.states[v] = init(v)
 		}
 	}
 	return net
+}
+
+// topo returns the current topology snapshot: the static CSR for
+// NewFromCSR networks, or a lazily (re)built snapshot of the mutable
+// graph — pointer-stable while the graph is unmutated, fresh after any
+// fault, so each round observes exactly the topology at its start.
+func (net *Network[S]) topo() *graph.CSR {
+	if net.G != nil {
+		return net.G.CSR()
+	}
+	return net.csr
 }
 
 // mix derives a per-node seed from the master seed with a SplitMix64-style
@@ -110,37 +158,56 @@ func (net *Network[S]) State(v int) S { return net.states[v] }
 // initial conditions (e.g. "one node is RED").
 func (net *Network[S]) SetState(v int, s S) {
 	net.states[v] = s
-	net.frontierOK = false // out-of-band change: frontier bookkeeping is stale
+	net.invalidateFrontiers() // out-of-band change: frontier bookkeeping is stale
 }
 
 // States returns the internal state slice (indexed by node ID). Callers
 // must treat it as read-only.
 func (net *Network[S]) States() []S { return net.states }
 
+// invalidateFrontiers marks both the node-granular and the
+// shard-granular frontier bookkeeping stale, forcing the next frontier
+// round (serial or parallel) to re-step every node.
+func (net *Network[S]) invalidateFrontiers() {
+	net.frontierOK = false
+	net.shardFront.ok = false
+}
+
 // Activate performs one asynchronous activation of node v (no-op for dead
 // or isolated nodes, since SM functions are defined on Q^+ only).
 func (net *Network[S]) Activate(v int) {
-	if !net.G.Alive(v) || net.G.Degree(v) == 0 {
+	c := net.topo()
+	if v < 0 || v >= c.Cap() {
 		return
 	}
-	view := net.buildView(net.serialScratch(), v, net.states)
+	nbrs := c.Neighbors(v)
+	if len(nbrs) == 0 {
+		return
+	}
+	view := net.buildView(net.serialScratch(), nbrs, net.states)
 	net.states[v] = net.auto.Step(net.states[v], view, net.rngs[v])
 	net.Activations++
-	net.frontierOK = false
+	net.invalidateFrontiers()
 }
 
 // SyncRound performs one synchronous round: every live node computes its
 // successor state from the same snapshot σ, then all states switch
 // simultaneously (Section 3.4's synchronous model).
+//
+// Dead and isolated nodes are recognized by an empty CSR neighbour row
+// (dead nodes are isolated by the graph invariant), so the hot loop
+// carries no per-node Alive/Degree calls at all.
 func (net *Network[S]) SyncRound() {
 	net.beforeRound()
+	c := net.topo()
 	sc := net.serialScratch()
-	for v := 0; v < net.G.Cap(); v++ {
-		if !net.G.Alive(v) || net.G.Degree(v) == 0 {
+	for v := 0; v < c.Cap(); v++ {
+		nbrs := c.Neighbors(v)
+		if len(nbrs) == 0 {
 			net.next[v] = net.states[v]
 			continue
 		}
-		view := net.buildView(sc, v, net.states)
+		view := net.buildView(sc, nbrs, net.states)
 		net.next[v] = net.auto.Step(net.states[v], view, net.rngs[v])
 	}
 	net.commitRound()
@@ -162,56 +229,10 @@ func (net *Network[S]) beforeRound() {
 func (net *Network[S]) commitRound() {
 	net.states, net.next = net.next, net.states
 	net.Rounds++
-	net.frontierOK = false
+	net.invalidateFrontiers()
 	if net.OnRound != nil {
 		net.OnRound(net.Rounds)
 	}
-}
-
-// SyncRoundParallel performs one synchronous round using the given number
-// of worker goroutines. Because every node has a private random stream and
-// reads only the immutable snapshot, the result is bit-identical to
-// SyncRound regardless of worker count — goroutines map one-to-one onto
-// node activations. Each worker carries its own view scratch, so the
-// round allocates nothing on the view-construction path.
-func (net *Network[S]) SyncRoundParallel(workers int) {
-	if workers < 1 {
-		panic(fmt.Sprintf("fssga: SyncRoundParallel needs workers >= 1, got %d", workers))
-	}
-	n := net.G.Cap()
-	if workers == 1 || n < 2 {
-		net.SyncRound() // fires the pre-round hook itself
-		return
-	}
-	net.beforeRound()
-	net.ensureWorkers(workers)
-	snapshot := net.states
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(sc *viewScratch[S], lo, hi int) {
-			defer wg.Done()
-			for v := lo; v < hi; v++ {
-				if !net.G.Alive(v) || net.G.Degree(v) == 0 {
-					net.next[v] = snapshot[v]
-					continue
-				}
-				view := net.buildView(sc, v, snapshot)
-				net.next[v] = net.auto.Step(snapshot[v], view, net.rngs[v])
-			}
-		}(net.workers[w], lo, hi)
-	}
-	wg.Wait()
-	net.commitRound()
 }
 
 // RunSync runs synchronous rounds until done returns true (checked after
@@ -227,7 +248,7 @@ func (net *Network[S]) RunSync(maxRounds int, done func(net *Network[S]) bool) (
 	return maxRounds, done == nil
 }
 
-// RunSyncParallel is RunSync with goroutine-parallel rounds.
+// RunSyncParallel is RunSync with sharded goroutine-parallel rounds.
 func (net *Network[S]) RunSyncParallel(maxRounds, workers int, done func(net *Network[S]) bool) (rounds int, finished bool) {
 	for r := 0; r < maxRounds; r++ {
 		net.SyncRoundParallel(workers)
@@ -244,13 +265,15 @@ func (net *Network[S]) RunSyncParallel(maxRounds, workers int, done func(net *Ne
 // deterministic automaton must not consult) so the real per-node streams
 // are not consumed.
 func (net *Network[S]) Quiescent() bool {
+	c := net.topo()
 	sc := net.serialScratch()
 	probe := rand.New(rand.NewSource(1))
-	for v := 0; v < net.G.Cap(); v++ {
-		if !net.G.Alive(v) || net.G.Degree(v) == 0 {
+	for v := 0; v < c.Cap(); v++ {
+		nbrs := c.Neighbors(v)
+		if len(nbrs) == 0 {
 			continue
 		}
-		view := net.buildView(sc, v, net.states)
+		view := net.buildView(sc, nbrs, net.states)
 		if net.auto.Step(net.states[v], view, probe) != net.states[v] {
 			return false
 		}
@@ -260,9 +283,10 @@ func (net *Network[S]) Quiescent() bool {
 
 // CountStates returns the multiset of live-node states.
 func (net *Network[S]) CountStates() map[S]int {
+	c := net.topo()
 	counts := make(map[S]int)
-	for v := 0; v < net.G.Cap(); v++ {
-		if net.G.Alive(v) {
+	for v := 0; v < c.Cap(); v++ {
+		if c.Alive(v) {
 			counts[net.states[v]]++
 		}
 	}

@@ -110,7 +110,7 @@ func (net *Network[S]) RunAsync(sched Scheduler, seed int64, maxActivations int,
 	rng := rand.New(rand.NewSource(mix(seed, -1)))
 	var alive []int
 	for a := 0; a < maxActivations; a++ {
-		alive = net.G.Nodes(alive[:0])
+		alive = net.topo().Nodes(alive[:0])
 		if len(alive) == 0 {
 			return a, false
 		}

@@ -27,6 +27,12 @@ type Graph struct {
 	nAlive int
 	mAlive int
 	sealed bool
+
+	// version counts topology mutations; the lazily built CSR snapshot
+	// (see csr.go) is cached until the versions diverge.
+	version    uint64
+	csr        *CSR
+	csrVersion uint64
 }
 
 // New returns a graph with n live nodes, numbered 0..n-1, and no edges.
@@ -80,6 +86,7 @@ func (g *Graph) AddEdge(u, v int) {
 	}
 	g.adj[v], _ = insertSorted(g.adj[v], u)
 	g.mAlive++
+	g.version++
 }
 
 // Seal marks the construction phase finished. After Seal, AddEdge panics
@@ -107,6 +114,7 @@ func (g *Graph) RemoveEdge(u, v int) bool {
 	g.adj[u] = removeSorted(g.adj[u], v)
 	g.adj[v] = removeSorted(g.adj[v], u)
 	g.mAlive--
+	g.version++
 	return true
 }
 
@@ -123,6 +131,7 @@ func (g *Graph) RemoveNode(v int) bool {
 	g.adj[v] = nil
 	g.alive[v] = false
 	g.nAlive--
+	g.version++
 	return true
 }
 

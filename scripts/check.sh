@@ -31,6 +31,9 @@ go run ./cmd/fssga-vet -audit repro/... > /dev/null
 echo "== go test -cover ./... (coverage ratchet)"
 ./scripts/coverage.sh
 
+echo "== perf regression gate (headline series vs committed BENCH_engine.json)"
+go run ./cmd/fssga-bench -perfgate
+
 echo "== go test -race ./internal/fssga/... ./internal/algo/..."
 go test -race ./internal/fssga/... ./internal/algo/...
 
