@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test cover lint audit contracts race chaos-race chaos-smoke mc-smoke bench perf bench-perf perf-gate
+.PHONY: check build test cover lint audit contracts race chaos-race chaos-smoke crash-soak mc-smoke bench perf bench-perf perf-gate
 
 # Tier-1 verify path (ROADMAP.md): gofmt + build + vet + tests + race.
 check:
@@ -50,6 +50,12 @@ chaos-race:
 # in seconds, inside the tier-1 time budget.
 chaos-smoke:
 	$(GO) run ./cmd/fssga-chaos -smoke -out $(shell mktemp -d)
+
+# The CI durability gate: crash the checkpointing soak at every
+# filesystem write unit, reboot, and require bit-identical resumption or
+# a loud checksum refusal — plus a bit-flip corruption pass. Seconds.
+crash-soak:
+	$(GO) run ./cmd/fssga-chaos -crash
 
 # The CI model-checking gate: exhaustive Theorem 3.7 sweep at the smoke
 # bound plus interleaving exploration of the deterministic algorithm /

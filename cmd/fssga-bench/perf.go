@@ -16,6 +16,7 @@ import (
 	"repro/internal/algo/census"
 	"repro/internal/algo/election"
 	"repro/internal/algo/shortestpath"
+	"repro/internal/checkpoint"
 	"repro/internal/fssga"
 	"repro/internal/graph"
 )
@@ -68,6 +69,8 @@ var trajectoryHeadline = []string{
 	"SyncRoundParallel/lattice/dense/n=65536/w=8",
 	"SyncRound/lattice/dense/n=1048576",
 	"SyncRoundParallel/lattice/dense/n=1048576/w=8",
+	"Checkpoint/write/full/n=1048576",
+	"Checkpoint/restore/delta/n=1048576",
 }
 
 // measureFunc runs one benchmark body; testing.Benchmark in production,
@@ -246,7 +249,133 @@ func collectPerf(seed int64, measure measureFunc) []perfResult {
 	qs := mkQuiesced()
 	serial("QuiescedRound/shortestpath/full/n=2304", benchRound(qs))
 
+	// 6. Checkpoint durability: snapshot-write latency (state capture,
+	// envelope encode, write-ahead intent protocol into an in-memory
+	// store) and restore latency (verify, decode, delta-chain
+	// resolution, state reinstatement), full vs delta, on the same torus
+	// lattices as the scaling series. The single-seed wavefront init
+	// keeps the post-base dirty set small, so the delta series measure
+	// the mode's intended sparse-change regime. All setup happens inside
+	// the bodies, behind ResetTimer, so a fake measurer skips it.
+	ckptInit := func(v int) int {
+		if v == 0 {
+			return latticeK - 1
+		}
+		return 0
+	}
+	ckptNet := func(c *graph.CSR) *fssga.Network[int] {
+		net := fssga.NewFromCSR[int](c, lattice{latticeK}, ckptInit, seed)
+		net.SyncRound()
+		net.SyncRound()
+		return net
+	}
+	for _, sz := range []struct {
+		n int
+		c *graph.CSR
+	}{{65536, c64k}, {1048576, c1m}} {
+		sz := sz
+		serial(fmt.Sprintf("Checkpoint/write/full/n=%d", sz.n), func(b *testing.B) {
+			b.ReportAllocs()
+			net := ckptNet(sz.c)
+			mgr := checkpoint.NewManager(net, checkpoint.NewStore(checkpoint.NewMemFS(), 2), checkpoint.Meta{Target: "lattice"})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := mgr.Checkpoint(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		serial(fmt.Sprintf("Checkpoint/write/delta/n=%d", sz.n), func(b *testing.B) {
+			b.ReportAllocs()
+			net := ckptNet(sz.c)
+			store := checkpoint.NewStore(checkpoint.NewMemFS(), 0)
+			mgr := checkpoint.NewManager(net, store, checkpoint.Meta{Target: "lattice"})
+			if err := mgr.Checkpoint(); err != nil { // base at round 2
+				b.Fatal(err)
+			}
+			base := append([]int(nil), net.States()...)
+			net.SyncRound() // round 3: a small dirty ball around node 0
+			cur := net.States()
+			meta := checkpoint.Meta{
+				Kind: checkpoint.KindDelta, Round: net.Rounds, Nodes: len(cur),
+				Seed: net.Seed(), BaseRound: net.Rounds - 1, Target: "lattice",
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// The same per-call work Manager does for a delta:
+				// topology hash, dirty-chunk diff, encode, commit.
+				meta.TopoHash = net.Topology().ContentHash()
+				pay := checkpoint.Payload[int]{Runs: deltaRuns(base, cur), RNGPos: net.RNGPositions()}
+				data, err := checkpoint.Encode(meta, pay)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := store.Write(meta.Round, data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		serial(fmt.Sprintf("Checkpoint/restore/full/n=%d", sz.n), func(b *testing.B) {
+			b.ReportAllocs()
+			net := ckptNet(sz.c)
+			store := checkpoint.NewStore(checkpoint.NewMemFS(), 0)
+			mgr := checkpoint.NewManager(net, store, checkpoint.Meta{Target: "lattice"})
+			if err := mgr.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mgr.Restore(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		serial(fmt.Sprintf("Checkpoint/restore/delta/n=%d", sz.n), func(b *testing.B) {
+			b.ReportAllocs()
+			net := ckptNet(sz.c)
+			store := checkpoint.NewStore(checkpoint.NewMemFS(), 0)
+			mgr := checkpoint.NewManager(net, store, checkpoint.Meta{Target: "lattice"})
+			if err := mgr.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+			net.SyncRound()
+			if err := mgr.CheckpointDelta(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ { // resolves the delta chain every call
+				if _, err := mgr.Restore(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
 	return results
+}
+
+// deltaRuns coalesces the dirty 64-node chunks of cur against base into
+// checkpoint runs — the same chunking the checkpoint manager uses.
+func deltaRuns(base, cur []int) []checkpoint.Run[int] {
+	const chunk = 64
+	var runs []checkpoint.Run[int]
+	for lo := 0; lo < len(cur); lo += chunk {
+		hi := lo + chunk
+		if hi > len(cur) {
+			hi = len(cur)
+		}
+		dirty := false
+		for i := lo; i < hi; i++ {
+			if base[i] != cur[i] {
+				dirty = true
+				break
+			}
+		}
+		if dirty {
+			runs = append(runs, checkpoint.Run[int]{Lo: lo, States: cur[lo:hi]})
+		}
+	}
+	return runs
 }
 
 // runPerf executes the engine perf suite, writes the JSON report to

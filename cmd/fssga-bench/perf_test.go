@@ -84,6 +84,14 @@ func TestRunPerfReportAndTrajectory(t *testing.T) {
 		"SyncRound/lattice/dense/n=1048576",
 		"SyncRoundParallel/lattice/dense/n=1048576/w=8",
 		"QuiescedRound/shortestpath/parallel-frontier/n=2304/w=4",
+		"Checkpoint/write/full/n=65536",
+		"Checkpoint/write/delta/n=65536",
+		"Checkpoint/restore/full/n=65536",
+		"Checkpoint/restore/delta/n=65536",
+		"Checkpoint/write/full/n=1048576",
+		"Checkpoint/write/delta/n=1048576",
+		"Checkpoint/restore/full/n=1048576",
+		"Checkpoint/restore/delta/n=1048576",
 	} {
 		if _, ok := names[want]; !ok {
 			t.Errorf("report lacks series %q", want)

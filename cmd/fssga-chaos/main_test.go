@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -90,5 +91,46 @@ func TestBadFlagsExitTwo(t *testing.T) {
 	}
 	if code := run([]string{"-replay=" + filepath.Join(t.TempDir(), "missing.json")}, &out); code != 2 {
 		t.Fatalf("missing artifact exited %d, want 2", code)
+	}
+}
+
+// TestReplayCorruptFixtures: corrupt or malformed artifacts exit 2 with
+// a structured error — the replay path never panics.
+func TestReplayCorruptFixtures(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"empty", ""},
+		{"truncated", `{"target":"census","graph":{"gen":"cyc`},
+		{"not json", "== garbage =="},
+		{"wrong shape", `{"target": 7}`},
+		{"bad event kind", `{"target":"census","graph":{"gen":"cycle","n":8},"events":[{"step":1,"kind":"?"}]}`},
+		{"digest count", `{"target":"census","graph":{"gen":"cycle","n":8},"rounds":2,"digests":[1]}`},
+		{"node out of range", `{"target":"census","graph":{"gen":"cycle","n":8},"events":[{"step":1,"kind":"node","node":80}]}`},
+	}
+	for _, tc := range cases {
+		path := filepath.Join(dir, "bad.json")
+		if err := os.WriteFile(path, []byte(tc.body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var buf strings.Builder
+		if code := run([]string{"-replay", path}, &buf); code != 2 {
+			t.Errorf("%s: exit %d, want 2:\n%s", tc.name, code, buf.String())
+		}
+	}
+}
+
+// TestCrashSoakSmoke runs the -crash preset end to end.
+func TestCrashSoakSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-crash", "-crash-n=36", "-crash-rounds=12"}, &out); code != 0 {
+		t.Fatalf("crash soak exited %d:\n%s", code, out.String())
+	}
+	for _, want := range []string{"crash soak:", "units=", "crash soak passed"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
 	}
 }

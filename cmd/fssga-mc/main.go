@@ -128,8 +128,15 @@ func selectPairs(list string, smoke bool) ([]mc.Pair, error) {
 	return pairs, nil
 }
 
-// replayMain verifies a recorded counterexample artifact.
-func replayMain(w io.Writer, path string) int {
+// replayMain verifies a recorded counterexample artifact. Malformed
+// artifacts exit with a structured error, never a panic.
+func replayMain(w io.Writer, path string) (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(w, "fssga-mc: replay of %s rejected: %v\n", path, r)
+			code = 2
+		}
+	}()
 	log, err := trace.LoadRunLog(path)
 	if err != nil {
 		fmt.Fprintf(w, "fssga-mc: %v\n", err)

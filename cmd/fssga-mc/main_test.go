@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -84,5 +85,51 @@ func TestReplayRoundTrip(t *testing.T) {
 	buf.Reset()
 	if code := run([]string{"-replay", filepath.Join(dir, "missing.json")}, &buf); code != 2 {
 		t.Fatalf("missing artifact exit %d, want 2", code)
+	}
+}
+
+// TestReplayCorruptFixtures: corrupt artifacts are structured non-zero
+// exits (2 for unloadable files, 1 for loadable-but-invalid schedules) —
+// the replay path never panics, even on picks outside the topology.
+func TestReplayCorruptFixtures(t *testing.T) {
+	dir := t.TempDir()
+	p, err := mc.LookupPair("twocolor/cycle5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outPicks := &trace.RunLog{
+		Target: "mc/" + p.Name, Graph: p.Spec, Rounds: 1, Round: 1,
+		Picks: []int{99}, Digests: []uint64{1},
+	}
+	picksPath := filepath.Join(dir, "picks.json")
+	if err := outPicks.Save(picksPath); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		body string
+		path string
+		want int
+	}{
+		{name: "empty", body: "", want: 2},
+		{name: "truncated", body: `{"target":"mc/twocolor/cycle5","graph":{"g`, want: 2},
+		{name: "not json", body: "== garbage ==", want: 2},
+		{name: "negative pick", body: `{"target":"mc/twocolor/cycle5","graph":{"gen":"cycle","n":5},"picks":[-1]}`, want: 2},
+		{name: "not an mc artifact", body: `{"target":"census","graph":{"gen":"cycle","n":8}}`, want: 1},
+		{name: "picks out of range", path: picksPath, want: 1},
+	}
+	for _, tc := range cases {
+		path := tc.path
+		if path == "" {
+			path = filepath.Join(dir, "bad.json")
+			if err := os.WriteFile(path, []byte(tc.body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf strings.Builder
+		if code := run([]string{"-replay", path}, &buf); code != tc.want {
+			t.Errorf("%s: exit %d, want %d:\n%s", tc.name, code, tc.want, buf.String())
+		}
 	}
 }

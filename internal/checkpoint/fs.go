@@ -1,0 +1,187 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// FS is the small flat-namespace filesystem surface the Store commits
+// through. Keeping it an interface is what makes the recovery protocol
+// testable: faultfs.go wraps any FS with torn writes, short reads and
+// crash-at-every-boundary sweeps, and the store's invariants are proven
+// against those, not against a well-behaved OS.
+type FS interface {
+	// WriteFile atomicity is NOT assumed — the store's intent protocol
+	// is designed around torn writes.
+	WriteFile(name string, data []byte) error
+	ReadFile(name string) ([]byte, error)
+	// Rename must be atomic: after a crash the name refers to either
+	// the old or the new content, never a mixture. Both real backends
+	// (POSIX rename, the in-memory map) provide this.
+	Rename(oldname, newname string) error
+	// Remove of a missing file is not an error.
+	Remove(name string) error
+	List() ([]string, error)
+}
+
+// DirFS is the production FS: a flat directory on the OS filesystem.
+type DirFS struct{ Dir string }
+
+// NewDirFS creates the directory if needed.
+func NewDirFS(dir string) (*DirFS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: create dir: %w", err)
+	}
+	return &DirFS{Dir: dir}, nil
+}
+
+func (d *DirFS) path(name string) string { return filepath.Join(d.Dir, name) }
+
+func (d *DirFS) WriteFile(name string, data []byte) error {
+	f, err := os.OpenFile(d.path(name), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	// Sync before close so the commit rename never outruns the data:
+	// the crash model behind the recovery rules assumes write-then-
+	// rename ordering.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (d *DirFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(d.path(name)) }
+
+func (d *DirFS) Rename(oldname, newname string) error {
+	return os.Rename(d.path(oldname), d.path(newname))
+}
+
+func (d *DirFS) Remove(name string) error {
+	err := os.Remove(d.path(name))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+func (d *DirFS) List() ([]string, error) {
+	ents, err := os.ReadDir(d.Dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+// MemFS is an in-memory FS for tests and crash sweeps. All methods are
+// safe for concurrent use; Rename is atomic under the mutex, matching
+// the FS contract.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+func NewMemFS() *MemFS { return &MemFS{files: make(map[string][]byte)} }
+
+func (m *MemFS) WriteFile(name string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[name] = append([]byte(nil), data...)
+	return nil
+}
+
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("checkpoint: %s: %w", name, os.ErrNotExist)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[oldname]
+	if !ok {
+		return fmt.Errorf("checkpoint: %s: %w", oldname, os.ErrNotExist)
+	}
+	m.files[newname] = data
+	delete(m.files, oldname)
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.files, name)
+	return nil
+}
+
+func (m *MemFS) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.files))
+	for n := range m.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Corrupt flips one bit of a stored file — the corruption primitive the
+// bit-flip sweep uses to prove checksums catch every single-bit error.
+func (m *MemFS) Corrupt(name string, byteOff int, bit uint) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[name]
+	if !ok {
+		return fmt.Errorf("checkpoint: %s: %w", name, os.ErrNotExist)
+	}
+	if byteOff < 0 || byteOff >= len(data) {
+		return fmt.Errorf("checkpoint: corrupt offset %d outside %d-byte file", byteOff, len(data))
+	}
+	data[byteOff] ^= 1 << (bit % 8)
+	return nil
+}
+
+// Truncate cuts a stored file to n bytes (torn-tail simulation).
+func (m *MemFS) Truncate(name string, n int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[name]
+	if !ok {
+		return fmt.Errorf("checkpoint: %s: %w", name, os.ErrNotExist)
+	}
+	if n < 0 || n > len(data) {
+		return fmt.Errorf("checkpoint: truncate %d outside %d-byte file", n, len(data))
+	}
+	m.files[name] = data[:n]
+	return nil
+}
+
+// Size returns the byte length of a stored file.
+func (m *MemFS) Size(name string) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[name]
+	if !ok {
+		return 0, fmt.Errorf("checkpoint: %s: %w", name, os.ErrNotExist)
+	}
+	return len(data), nil
+}

@@ -1,0 +1,109 @@
+package checkpoint
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestDirFSStoreEndToEnd drives the production filesystem backend
+// through the full store protocol: commits, retention, recovery sweep,
+// and a loud refusal on a corrupted committed file.
+func TestDirFSStoreEndToEnd(t *testing.T) {
+	fs, err := NewDirFS(filepath.Join(t.TempDir(), "ckpts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewStore(fs, 2)
+	for r := 1; r <= 3; r++ {
+		if err := st.Write(r, envelope(t, r, r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	round, data, err := st.Latest()
+	if err != nil || round != 3 {
+		t.Fatalf("latest = %d, %v", round, err)
+	}
+	if !reflect.DeepEqual(data, envelope(t, 3, 3)) {
+		t.Fatal("latest data mismatch")
+	}
+	rounds, err := st.Rounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rounds, []int{2, 3}) {
+		t.Fatalf("retention kept %v", rounds)
+	}
+
+	// A crash landing: stray intent + tmp from an interrupted commit.
+	if err := fs.WriteFile(intentName(9), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(tmpName(9), []byte("partial")); err != nil {
+		t.Fatal(err)
+	}
+	if round, _, err := st.Latest(); err != nil || round != 3 {
+		t.Fatalf("recovery: round=%d err=%v", round, err)
+	}
+	names, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("protocol files not swept: %v", names)
+	}
+
+	// Remove of a missing file is not an error (recovery is idempotent).
+	if err := fs.Remove("ckpt-000000000099.intent"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt a committed byte on disk: load must refuse loudly.
+	data, err = fs.ReadFile(finalName(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	if err := fs.WriteFile(finalName(3), data); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Latest(); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt committed file on disk: %v", err)
+	}
+}
+
+// TestFaultFSPassThrough covers the inspection surface of the fault shim
+// when disarmed: reads and listings reach the inner FS, and the crash
+// flag stays down.
+func TestFaultFSPassThrough(t *testing.T) {
+	mem := NewMemFS()
+	ffs := NewFaultFS(mem)
+	if err := ffs.WriteFile("a", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if ffs.Crashed() {
+		t.Fatal("disarmed shim reports crashed")
+	}
+	names, err := ffs.List()
+	if err != nil || len(names) != 1 || names[0] != "a" {
+		t.Fatalf("list = %v, %v", names, err)
+	}
+	if _, err := ffs.ReadFile("a"); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.CrashAtUnit(0)
+	if err := ffs.WriteFile("b", []byte{2}); err == nil {
+		t.Fatal("write survived the crash unit")
+	}
+	if !ffs.Crashed() {
+		t.Fatal("crash flag not raised")
+	}
+	if _, err := ffs.List(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash list: %v", err)
+	}
+	if _, err := ffs.ReadFile("a"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash read: %v", err)
+	}
+}

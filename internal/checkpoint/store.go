@@ -1,0 +1,249 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Store commits checkpoint envelopes into an FS under a write-ahead
+// intent protocol and recovers the latest committed one after a crash.
+//
+// Commit protocol for round r (each step is a separate FS mutation, so
+// a crash can land between any two — or inside one, see FaultFS):
+//
+//  1. write intent record  ckpt-r.intent
+//  2. write envelope to    ckpt-r.fssga.tmp
+//  3. rename tmp →         ckpt-r.fssga      (the atomic commit point)
+//  4. remove intent
+//  5. prune checkpoints older than the retention window
+//
+// Recovery rules (Latest):
+//
+//   - intent present, final file present and Verify-clean: the crash hit
+//     after step 3 — the commit happened; the leftover intent (and tmp)
+//     are swept and the checkpoint counts.
+//   - intent present otherwise: the crash hit before the commit point —
+//     the attempt is rolled back silently (tmp/final remnants removed)
+//     and an older checkpoint serves.
+//   - NO intent, but the newest committed file fails Verify: this is
+//     not an interrupted write — it is corruption of data the store had
+//     durably committed, and it fails LOUDLY with ErrChecksum (or
+//     ErrTruncated/ErrFormat). Falling back silently here would turn
+//     disk rot into wrong answers.
+type Store struct {
+	fs   FS
+	keep int // committed checkpoints to retain; <1 means keep all
+}
+
+// ErrNoCheckpoint is returned by Latest when the store holds no
+// committed checkpoint at all.
+var ErrNoCheckpoint = errors.New("checkpoint: no committed checkpoint")
+
+// NewStore returns a store over fs retaining the newest keep committed
+// checkpoints (keep < 1 retains everything). A delta chain needs its
+// base, so callers using delta checkpoints every round should keep at
+// least one full-checkpoint interval.
+func NewStore(fs FS, keep int) *Store { return &Store{fs: fs, keep: keep} }
+
+const (
+	finalSuffix  = ".fssga"
+	tmpSuffix    = ".fssga.tmp"
+	intentSuffix = ".intent"
+)
+
+func finalName(round int) string  { return fmt.Sprintf("ckpt-%012d%s", round, finalSuffix) }
+func tmpName(round int) string    { return fmt.Sprintf("ckpt-%012d%s", round, tmpSuffix) }
+func intentName(round int) string { return fmt.Sprintf("ckpt-%012d%s", round, intentSuffix) }
+
+// parseName extracts the round from a store filename; ok is false for
+// foreign files, which the store ignores entirely.
+func parseName(name string) (round int, suffix string, ok bool) {
+	rest, found := strings.CutPrefix(name, "ckpt-")
+	if !found {
+		return 0, "", false
+	}
+	for _, suf := range []string{tmpSuffix, intentSuffix, finalSuffix} {
+		if num, had := strings.CutSuffix(rest, suf); had {
+			if len(num) != 12 {
+				return 0, "", false
+			}
+			r := 0
+			for _, c := range num {
+				if c < '0' || c > '9' {
+					return 0, "", false
+				}
+				r = r*10 + int(c-'0')
+			}
+			return r, suf, true
+		}
+	}
+	return 0, "", false
+}
+
+// Write commits one encoded envelope for the given round. On a nil
+// return the checkpoint is durably committed; on an error the store is
+// in a state recovery handles (the attempt rolls back, earlier
+// checkpoints still serve).
+func (s *Store) Write(round int, data []byte) error {
+	if round < 0 {
+		return fmt.Errorf("checkpoint: negative round %d", round)
+	}
+	if err := s.fs.WriteFile(intentName(round), []byte(finalName(round)+"\n")); err != nil {
+		return fmt.Errorf("checkpoint: write intent: %w", err)
+	}
+	if err := s.fs.WriteFile(tmpName(round), data); err != nil {
+		return fmt.Errorf("checkpoint: write tmp: %w", err)
+	}
+	if err := s.fs.Rename(tmpName(round), finalName(round)); err != nil {
+		return fmt.Errorf("checkpoint: commit rename: %w", err)
+	}
+	if err := s.fs.Remove(intentName(round)); err != nil {
+		return fmt.Errorf("checkpoint: clear intent: %w", err)
+	}
+	return s.prune()
+}
+
+// prune removes committed checkpoints beyond the retention window.
+// Pruning never touches a round with a live intent (mid-commit).
+func (s *Store) prune() error {
+	if s.keep < 1 {
+		return nil
+	}
+	rounds, _, err := s.scan()
+	if err != nil {
+		return err
+	}
+	for len(rounds) > s.keep {
+		r := rounds[0]
+		rounds = rounds[1:]
+		if err := s.fs.Remove(finalName(r)); err != nil {
+			return fmt.Errorf("checkpoint: prune round %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// scan lists the store: committed rounds ascending, plus the rounds
+// with intent records outstanding.
+func (s *Store) scan() (committed []int, intents []int, err error) {
+	names, err := s.fs.List()
+	if err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: list store: %w", err)
+	}
+	for _, name := range names {
+		round, suffix, ok := parseName(name)
+		if !ok {
+			continue
+		}
+		switch suffix {
+		case finalSuffix:
+			committed = append(committed, round)
+		case intentSuffix:
+			intents = append(intents, round)
+		}
+	}
+	sort.Ints(committed)
+	sort.Ints(intents)
+	return committed, intents, nil
+}
+
+// Rounds returns the committed checkpoint rounds, ascending. Rounds
+// mid-commit (intent outstanding) are excluded.
+func (s *Store) Rounds() ([]int, error) {
+	committed, intents, err := s.scan()
+	if err != nil {
+		return nil, err
+	}
+	open := make(map[int]bool, len(intents))
+	for _, r := range intents {
+		open[r] = true
+	}
+	kept := committed[:0]
+	for _, r := range committed {
+		if !open[r] {
+			kept = append(kept, r)
+		}
+	}
+	return kept, nil
+}
+
+// Read returns the verified envelope of one committed round.
+func (s *Store) Read(round int) ([]byte, error) {
+	data, err := s.fs.ReadFile(finalName(round))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read round %d: %w", round, err)
+	}
+	if err := Verify(data); err != nil {
+		return nil, fmt.Errorf("round %d: %w", round, err)
+	}
+	return data, nil
+}
+
+// Recover applies the crash-recovery rules: interrupted commits are
+// resolved (completed ones kept, incomplete ones rolled back), stray
+// tmp files are swept. It is idempotent and safe on a clean store.
+func (s *Store) Recover() error {
+	names, err := s.fs.List()
+	if err != nil {
+		return fmt.Errorf("checkpoint: list store: %w", err)
+	}
+	for _, name := range names {
+		round, suffix, ok := parseName(name)
+		if !ok || suffix != intentSuffix {
+			continue
+		}
+		data, err := s.fs.ReadFile(finalName(round))
+		if err == nil && Verify(data) == nil {
+			// Crash after the commit point: the checkpoint is good,
+			// only the intent cleanup was lost.
+			if err := s.fs.Remove(name); err != nil {
+				return fmt.Errorf("checkpoint: clear recovered intent: %w", err)
+			}
+			continue
+		}
+		// Crash before the commit point: roll the attempt back. A
+		// torn/invalid final file under an intent is an interrupted
+		// write, not corruption — removing it silently is the designed
+		// behavior (the previous committed checkpoint serves).
+		if err := s.fs.Remove(finalName(round)); err != nil {
+			return fmt.Errorf("checkpoint: roll back round %d: %w", round, err)
+		}
+		if err := s.fs.Remove(name); err != nil {
+			return fmt.Errorf("checkpoint: roll back intent %d: %w", round, err)
+		}
+	}
+	for _, name := range names {
+		if _, suffix, ok := parseName(name); ok && suffix == tmpSuffix {
+			if err := s.fs.Remove(name); err != nil {
+				return fmt.Errorf("checkpoint: sweep tmp: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Latest recovers the store and returns the newest committed
+// checkpoint's round and verified envelope. ErrNoCheckpoint means the
+// store is empty (nothing was ever committed, or every attempt was
+// interrupted before its commit point). A committed-but-corrupt newest
+// checkpoint is a loud error, never a silent fallback.
+func (s *Store) Latest() (int, []byte, error) {
+	if err := s.Recover(); err != nil {
+		return 0, nil, err
+	}
+	committed, _, err := s.scan()
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(committed) == 0 {
+		return 0, nil, ErrNoCheckpoint
+	}
+	round := committed[len(committed)-1]
+	data, err := s.Read(round)
+	if err != nil {
+		return 0, nil, err
+	}
+	return round, data, nil
+}

@@ -1,7 +1,10 @@
 package fssga
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 )
@@ -28,6 +31,14 @@ type Network[S comparable] struct {
 	next   []S // scratch buffer for synchronous rounds
 	rngs   []*rand.Rand
 
+	// seed is the master seed the per-node streams derive from; srcs
+	// are the counting sources behind rngs (same index). rngUsed flips
+	// the first time any node stream materializes its generator, so
+	// deterministic runs can skip RNG snapshot/restore work entirely.
+	seed    int64
+	srcs    []*lazySource
+	rngUsed atomic.Bool
+
 	// Dense fast path (see dense.go): set when auto implements
 	// DenseAutomaton with a state space within MaxDenseStates.
 	denseAuto DenseAutomaton[S]
@@ -37,8 +48,15 @@ type Network[S comparable] struct {
 	serial  *viewScratch[S]   // shared by all serial execution paths
 	workers []*viewScratch[S] // one per worker of the shard pool
 
-	// Persistent shard pool for parallel rounds (see shard.go).
-	pool *shardPool
+	// Persistent shard pool for parallel rounds (see shard.go). poolMu
+	// guards creating/replacing/closing the pool so rounds racing Close
+	// stay defined; roundActive rejects concurrent rounds on the same
+	// network with ErrConcurrentRound; rngSnap is the supervisor's
+	// reusable round-start RNG position scratch (see supervisor.go).
+	pool        *shardPool
+	poolMu      sync.Mutex
+	roundActive atomic.Bool
+	rngSnap     []uint64
 
 	// Serial frontier round mode (see frontier.go).
 	front      []bool
@@ -110,6 +128,8 @@ func newNetwork[S comparable](g *graph.Graph, c *graph.CSR, auto Automaton[S], i
 		states: make([]S, n),
 		next:   make([]S, n),
 		rngs:   make([]*rand.Rand, n),
+		seed:   seed,
+		srcs:   make([]*lazySource, n),
 	}
 	if d, ok := auto.(DenseAutomaton[S]); ok {
 		if ns := d.NumStates(); ns > 0 && ns <= MaxDenseStates {
@@ -119,7 +139,8 @@ func newNetwork[S comparable](g *graph.Graph, c *graph.CSR, auto Automaton[S], i
 		}
 	}
 	for v := 0; v < n; v++ {
-		net.rngs[v] = lazyRand(mix(seed, int64(v)))
+		net.srcs[v] = &lazySource{seed: mix(seed, int64(v)), used: &net.rngUsed}
+		net.rngs[v] = rand.New(net.srcs[v])
 		if c.Alive(v) {
 			net.states[v] = init(v)
 		}
@@ -164,6 +185,74 @@ func (net *Network[S]) SetState(v int, s S) {
 // States returns the internal state slice (indexed by node ID). Callers
 // must treat it as read-only.
 func (net *Network[S]) States() []S { return net.states }
+
+// Seed returns the master seed the per-node random streams derive from.
+func (net *Network[S]) Seed() int64 { return net.seed }
+
+// Topology returns the network's current immutable topology snapshot:
+// the static CSR for NewFromCSR networks, or a snapshot of the mutable
+// graph as of now. Checkpointing uses its content hash to verify that a
+// restore target matches the checkpointed topology.
+func (net *Network[S]) Topology() *graph.CSR { return net.topo() }
+
+// RNGDrawn reports whether any node's random stream has ever been
+// drawn from. Deterministic automata never draw, so their networks
+// report false forever and checkpoints can omit stream positions.
+func (net *Network[S]) RNGDrawn() bool { return net.rngUsed.Load() }
+
+// RNGPositions returns the per-node random stream positions (number of
+// draws consumed, indexed by node ID), or nil if no stream has ever
+// been drawn from — the all-zeros vector that nil denotes restores
+// for free. The returned slice is freshly allocated.
+func (net *Network[S]) RNGPositions() []uint64 {
+	if !net.rngUsed.Load() {
+		return nil
+	}
+	pos := make([]uint64, len(net.srcs))
+	for v, s := range net.srcs {
+		pos[v] = s.position()
+	}
+	return pos
+}
+
+// RestoreRNGPositions rewinds every per-node stream to its seed and
+// fast-forwards it to the given position, so subsequent draws are
+// bit-identical to a run that consumed exactly pos[v] draws at node v.
+// A nil pos resets all streams to their start. Lengths must match.
+func (net *Network[S]) RestoreRNGPositions(pos []uint64) error {
+	if pos == nil {
+		for _, s := range net.srcs {
+			s.rewind(0)
+		}
+		return nil
+	}
+	if len(pos) != len(net.srcs) {
+		return fmt.Errorf("fssga: RestoreRNGPositions got %d positions for %d nodes", len(pos), len(net.srcs))
+	}
+	for v, s := range net.srcs {
+		s.rewind(pos[v])
+	}
+	return nil
+}
+
+// RestoreStates overwrites the full state vector and round counter,
+// e.g. from a checkpoint. The slice length must equal the network's
+// node capacity. Frontier bookkeeping is invalidated; the topology is
+// NOT restored — callers must reconstruct it (and any faults applied to
+// it) before restoring states, which internal/checkpoint verifies via
+// the topology content hash.
+func (net *Network[S]) RestoreStates(states []S, rounds int) error {
+	if len(states) != len(net.states) {
+		return fmt.Errorf("fssga: RestoreStates got %d states for %d nodes", len(states), len(net.states))
+	}
+	if rounds < 0 {
+		return fmt.Errorf("fssga: RestoreStates got negative round counter %d", rounds)
+	}
+	copy(net.states, states)
+	net.Rounds = rounds
+	net.invalidateFrontiers()
+	return nil
+}
 
 // invalidateFrontiers marks both the node-granular and the
 // shard-granular frontier bookkeeping stale, forcing the next frontier

@@ -1,6 +1,9 @@
 package fssga
 
-import "math/rand"
+import (
+	"math/rand"
+	"sync/atomic"
+)
 
 // lazySource is a rand.Source64 that defers building its underlying
 // generator until the first draw. math/rand's default source carries a
@@ -16,9 +19,26 @@ import "math/rand"
 // underlying source exactly as it would without the wrapper (asserted
 // in TestLazySourceStreamsMatchEager — chaos replay digests depend on
 // the streams never shifting).
+//
+// The wrapper additionally counts draws. Every rand.Rand method that
+// consumes randomness reaches the source through exactly one Int63 or
+// Uint64 call per internal step, and math/rand's rngSource advances its
+// state identically for both (Int63 is Uint64 masked to 63 bits), so
+// the counter is a complete stream position: re-seeding and discarding
+// `draws` Uint64 calls lands the source on the exact same state
+// regardless of which mix of Rand methods produced the draws. This is
+// what makes RNG streams checkpointable without serializing the 5 KB
+// table (internal/checkpoint) and rollback-able after a failed
+// supervised round (shard.go).
 type lazySource struct {
-	seed int64
-	src  rand.Source64
+	seed  int64
+	src   rand.Source64
+	draws uint64
+	// used, if non-nil, is flipped when the underlying generator is
+	// first materialized. The owning Network shares one flag across all
+	// node sources so deterministic runs can skip per-round RNG
+	// snapshots entirely.
+	used *atomic.Bool
 }
 
 func (l *lazySource) force() rand.Source64 {
@@ -26,21 +46,50 @@ func (l *lazySource) force() rand.Source64 {
 		// math/rand's builtin source implements Source64 (guaranteed
 		// since Go 1.8's rngSource); the assertion is for safety.
 		l.src = rand.NewSource(l.seed).(rand.Source64)
+		if l.used != nil {
+			l.used.Store(true)
+		}
 	}
 	return l.src
 }
 
 // Int63 implements rand.Source.
-func (l *lazySource) Int63() int64 { return l.force().Int63() }
+func (l *lazySource) Int63() int64 {
+	l.draws++
+	return l.force().Int63()
+}
 
 // Uint64 implements rand.Source64.
-func (l *lazySource) Uint64() uint64 { return l.force().Uint64() }
+func (l *lazySource) Uint64() uint64 {
+	l.draws++
+	return l.force().Uint64()
+}
 
 // Seed implements rand.Source. Re-seeding resets the stream exactly as
 // it would an eager source; the table build is again deferred.
 func (l *lazySource) Seed(seed int64) {
 	l.seed = seed
 	l.src = nil
+	l.draws = 0
+}
+
+// position returns the number of draws consumed from the stream.
+func (l *lazySource) position() uint64 { return l.draws }
+
+// rewind resets the stream to its seed and fast-forwards it to pos
+// draws, leaving the source in exactly the state it held after pos
+// draws of any kind. pos == 0 restores the never-drawn lazy state
+// (no table is built).
+func (l *lazySource) rewind(pos uint64) {
+	l.src = nil
+	l.draws = pos
+	if pos == 0 {
+		return
+	}
+	s := l.force()
+	for i := uint64(0); i < pos; i++ {
+		s.Uint64() // one rngSource step, same as any single draw
+	}
 }
 
 // lazyRand returns a *rand.Rand whose stream is identical to

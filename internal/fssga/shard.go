@@ -3,6 +3,7 @@ package fssga
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -59,6 +60,13 @@ func shardSpan(n, workers int) int {
 // for completion. The pool is created lazily by the first parallel
 // round, grows if a later round asks for more workers, and is torn down
 // by Network.Close or the network's finalizer.
+//
+// The pool is panic-safe: a body panic is recovered in the worker (the
+// goroutine survives and keeps serving rounds), the first panic of a
+// round is recorded, and round() reports it to the supervisor
+// (supervisor.go), which discards and retries the round. mu serializes
+// round() against close() so a Close racing an in-flight round waits
+// for it instead of stranding wg.Wait.
 type shardPool struct {
 	workers int
 	wake    []chan struct{}
@@ -68,6 +76,15 @@ type shardPool struct {
 	body    func(worker int)
 	closed  atomic.Bool
 	once    sync.Once
+	mu      sync.Mutex                  // serializes round vs close
+	perr    atomic.Pointer[workerPanic] // first panic of the current round
+}
+
+// workerPanic records one recovered worker panic.
+type workerPanic struct {
+	worker int
+	value  any
+	stack  string
 }
 
 func newShardPool(workers int) *shardPool {
@@ -85,8 +102,7 @@ func newShardPool(workers int) *shardPool {
 				case <-p.stop:
 					return
 				case <-ch:
-					p.body(id)
-					p.wg.Done()
+					p.runBody(id)
 				}
 			}
 		}(w)
@@ -94,10 +110,35 @@ func newShardPool(workers int) *shardPool {
 	return p
 }
 
+// runBody executes the published round body for one worker, converting
+// a panic into a recorded workerPanic. wg.Done always runs, so round()
+// never deadlocks on a panicking body.
+func (p *shardPool) runBody(id int) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.perr.CompareAndSwap(nil, &workerPanic{
+				worker: id,
+				value:  r,
+				stack:  string(debug.Stack()),
+			})
+		}
+		p.wg.Done()
+	}()
+	p.body(id)
+}
+
 // round runs body(worker) on every pool worker and blocks until all
 // return. The body reference is dropped afterwards so the pool never
-// pins a network (or its state vectors) between rounds.
-func (p *shardPool) round(body func(worker int)) {
+// pins a network (or its state vectors) between rounds. It returns the
+// first recovered worker panic (nil for a clean round), or ErrPoolClosed
+// if the pool was closed before the round could start.
+func (p *shardPool) round(body func(worker int)) (*workerPanic, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed.Load() {
+		return nil, ErrPoolClosed
+	}
+	p.perr.Store(nil)
 	p.body = body
 	p.wg.Add(p.workers)
 	for _, ch := range p.wake {
@@ -105,10 +146,14 @@ func (p *shardPool) round(body func(worker int)) {
 	}
 	p.wg.Wait()
 	p.body = nil
+	return p.perr.Load(), nil
 }
 
-// close stops the worker goroutines. Idempotent.
+// close stops the worker goroutines. Idempotent; an in-flight round
+// finishes first (mu), so workers are never stopped mid-body.
 func (p *shardPool) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.once.Do(func() {
 		p.closed.Store(true)
 		close(p.stop)
@@ -121,6 +166,8 @@ func (p *shardPool) close() {
 // caller never calls Close — pool goroutines reference only the pool,
 // never the network, so an abandoned network stays collectable.
 func (net *Network[S]) ensurePool(workers int) *shardPool {
+	net.poolMu.Lock()
+	defer net.poolMu.Unlock()
 	if net.pool == nil || net.pool.closed.Load() || net.pool.workers < workers {
 		old := net.pool
 		if old != nil {
@@ -136,10 +183,14 @@ func (net *Network[S]) ensurePool(workers int) *shardPool {
 }
 
 // Close stops the persistent worker pool's goroutines. It is safe to
-// call multiple times and on networks that never ran a parallel round;
-// a network whose Close was never called is cleaned up by a finalizer.
-// A parallel round after Close transparently starts a fresh pool.
+// call multiple times, on networks that never ran a parallel round, and
+// concurrently with parallel rounds (the round either completes first
+// or retries on a fresh pool); a network whose Close was never called
+// is cleaned up by a finalizer. A parallel round after Close
+// transparently starts a fresh pool.
 func (net *Network[S]) Close() {
+	net.poolMu.Lock()
+	defer net.poolMu.Unlock()
 	if net.pool != nil {
 		net.pool.close()
 	}
@@ -151,23 +202,42 @@ func (net *Network[S]) Close() {
 // bit-identical to SyncRound regardless of worker count or shard
 // assignment. Small networks (at most one shard) fall back to the
 // serial round.
+//
+// The round is supervised: a worker panic is recovered and the round
+// retried (see supervisor.go); only after retry exhaustion does the
+// structured *PanicError propagate as a panic. Use TrySyncRoundParallel
+// to receive it as an error instead.
 func (net *Network[S]) SyncRoundParallel(workers int) {
+	if err := net.TrySyncRoundParallel(workers); err != nil {
+		panic(err)
+	}
+}
+
+// TrySyncRoundParallel is SyncRoundParallel returning errors instead of
+// panicking: ErrConcurrentRound if another round is in flight on this
+// network, a *PanicError if a worker panic survived every supervised
+// retry, or an ErrPoolClosed-wrapping error if a concurrent Close won
+// the pool race on every attempt. On error the network is unchanged:
+// still on its last committed round, RNG streams rewound.
+func (net *Network[S]) TrySyncRoundParallel(workers int) error {
 	if workers < 1 {
 		panic(fmt.Sprintf("fssga: SyncRoundParallel needs workers >= 1, got %d", workers))
 	}
+	if !net.roundActive.CompareAndSwap(false, true) {
+		return ErrConcurrentRound
+	}
+	defer net.roundActive.Store(false)
 	n := len(net.states)
 	if workers == 1 || n <= shardAlign {
 		net.SyncRound() // fires the pre-round hook itself
-		return
+		return nil
 	}
-	net.beforeRound()
+	net.beforeRound() // exactly once, even across supervised retries
 	c := net.topo()
-	pool := net.ensurePool(workers)
 	span := shardSpan(n, workers)
 	shards := (n + span - 1) / span
 	snapshot, next := net.states, net.next
-	pool.cursor.Store(0)
-	pool.round(func(w int) {
+	err := net.runSupervised(workers, func(pool *shardPool, w int) {
 		sc := net.workers[w]
 		for {
 			s := int(pool.cursor.Add(1)) - 1
@@ -190,7 +260,11 @@ func (net *Network[S]) SyncRoundParallel(workers int) {
 			}
 		}
 	})
+	if err != nil {
+		return err
+	}
 	net.commitRound()
+	return nil
 }
 
 // shardFrontier is the shard-granular frontier bookkeeping for
@@ -270,16 +344,32 @@ func resizeInt32(b []int32, n int) []int32 {
 // Deterministic automata only, exactly as SyncRoundFrontier: skipped
 // nodes do not consume random draws.
 func (net *Network[S]) SyncRoundParallelFrontier(workers int) (changed bool) {
+	changed, err := net.TrySyncRoundParallelFrontier(workers)
+	if err != nil {
+		panic(err)
+	}
+	return changed
+}
+
+// TrySyncRoundParallelFrontier is SyncRoundParallelFrontier returning
+// errors instead of panicking, under the same supervision and with the
+// same error surface as TrySyncRoundParallel. On error no state is
+// committed and the shard frontier is invalidated (the next frontier
+// round re-steps everything).
+func (net *Network[S]) TrySyncRoundParallelFrontier(workers int) (changed bool, err error) {
 	if workers < 1 {
 		panic(fmt.Sprintf("fssga: SyncRoundParallelFrontier needs workers >= 1, got %d", workers))
 	}
+	if !net.roundActive.CompareAndSwap(false, true) {
+		return false, ErrConcurrentRound
+	}
+	defer net.roundActive.Store(false)
 	n := len(net.states)
 	if workers == 1 || n <= shardAlign {
-		return net.SyncRoundFrontier() // fires the pre-round hook itself
+		return net.SyncRoundFrontier(), nil // fires the pre-round hook itself
 	}
-	net.beforeRound()
+	net.beforeRound() // exactly once, even across supervised retries
 	c := net.topo()
-	pool := net.ensurePool(workers)
 	span := shardSpan(n, workers)
 	f := &net.shardFront
 	if f.csr != c || f.span != span {
@@ -304,8 +394,10 @@ func (net *Network[S]) SyncRoundParallelFrontier(workers int) (changed bool) {
 	}
 
 	snapshot, next := net.states, net.next
-	pool.cursor.Store(0)
-	pool.round(func(w int) {
+	// f.active is computed above and only read by attempts; f.dirty and
+	// next are fully rewritten by every attempt, so a discarded attempt
+	// leaves nothing behind.
+	err = net.runSupervised(workers, func(pool *shardPool, w int) {
 		sc := net.workers[w]
 		for {
 			s := int(pool.cursor.Add(1)) - 1
@@ -339,6 +431,12 @@ func (net *Network[S]) SyncRoundParallelFrontier(workers int) (changed bool) {
 			f.dirty[s] = dirty
 		}
 	})
+	if err != nil {
+		// A failed attempt may have claimed only some shards, so the
+		// dirty flags are inconsistent: force a full re-step next time.
+		f.ok = false
+		return false, err
+	}
 	for s := 0; s < shards; s++ {
 		if f.dirty[s] {
 			changed = true
@@ -349,7 +447,7 @@ func (net *Network[S]) SyncRoundParallelFrontier(workers int) (changed bool) {
 	if !changed {
 		// Quiescent: all shards clean, nothing committed; subsequent
 		// calls skip every shard.
-		return false
+		return false, nil
 	}
 	net.states, net.next = net.next, net.states
 	net.Rounds++
@@ -357,7 +455,7 @@ func (net *Network[S]) SyncRoundParallelFrontier(workers int) (changed bool) {
 	if net.OnRound != nil {
 		net.OnRound(net.Rounds)
 	}
-	return true
+	return true, nil
 }
 
 // RunSyncParallelUntilQuiescent is RunSyncUntilQuiescent on the shard

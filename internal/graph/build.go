@@ -15,12 +15,27 @@ var GeneratorNames = []string{
 	"tree", "gnp", "hypercube", "barbell", "theta",
 }
 
+// buildMin maps each generator to the smallest n it accepts. Build
+// checks the floor and returns an error below it: this is the
+// reconstruction path for recorded artifacts (chaos replay, checkpoint
+// metadata), which must reject a malformed size field loudly instead of
+// tripping a generator's internal panic.
+var buildMin = map[string]int{
+	"cycle":    3,
+	"oddcycle": 2, // rounds up to C_3
+	"star":     2,
+	"barbell":  6, // two K_3 bells
+}
+
 // Build constructs the named topology with approximately n nodes,
 // deterministically in (name, n, seed). The graph is returned unsealed so
 // callers may add application edges before Seal.
 func Build(name string, n int, seed int64) (*Graph, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("graph: Build needs n >= 1, got %d", n)
+	}
+	if min, ok := buildMin[name]; ok && n < min {
+		return nil, fmt.Errorf("graph: generator %q needs n >= %d, got %d", name, min, n)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	switch name {

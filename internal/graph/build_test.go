@@ -46,3 +46,34 @@ func TestBuildRejectsBadInput(t *testing.T) {
 		t.Fatal("n=0 accepted")
 	}
 }
+
+// TestBuildRejectsUndersizedGenerators: sizes below a generator's floor
+// come back as errors, not generator panics — replay and checkpoint
+// reconstruction feed Build attacker-shaped artifact fields.
+func TestBuildRejectsUndersizedGenerators(t *testing.T) {
+	for name, min := range buildMin {
+		if _, err := Build(name, min-1, 1); err == nil {
+			t.Fatalf("%s: n=%d below floor accepted", name, min-1)
+		}
+		g, err := Build(name, min, 1)
+		if err != nil {
+			t.Fatalf("%s: n=%d at floor rejected: %v", name, min, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s at floor: %v", name, err)
+		}
+	}
+	// Every registered generator must survive its Build floor without
+	// panicking, for all small sizes.
+	for _, name := range GeneratorNames {
+		for n := 1; n <= 8; n++ {
+			g, err := Build(name, n, 3)
+			if err != nil {
+				continue // rejected loudly: acceptable
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatalf("%s n=%d: %v", name, n, err)
+			}
+		}
+	}
+}

@@ -194,3 +194,45 @@ func TestCSRCloneIndependence(t *testing.T) {
 	}
 	assertCSRMatchesGraph(t, cl, cl.CSR())
 }
+
+// TestCSRContentHash: the content hash is a pure function of the
+// topology — equal for generator-built and graph-built snapshots of the
+// same topology, different after any mutation, and sensitive to the
+// alive mask (a dead node changes the hash even though its neighbour
+// row was already empty).
+func TestCSRContentHash(t *testing.T) {
+	if got, want := Torus(6, 7).CSR().ContentHash(), TorusCSR(6, 7).ContentHash(); got != want {
+		t.Fatalf("graph-built torus hashes %x, streaming-built %x", got, want)
+	}
+	if Cycle(12).CSR().ContentHash() != CycleCSR(12).ContentHash() {
+		t.Fatal("cycle hash differs between builders")
+	}
+	if Cycle(12).CSR().ContentHash() == Cycle(13).CSR().ContentHash() {
+		t.Fatal("different cycles hash equal")
+	}
+
+	g := Grid(4, 4)
+	h0 := g.CSR().ContentHash()
+	if g.CSR().ContentHash() != h0 {
+		t.Fatal("hash not stable across repeated snapshots")
+	}
+	g.RemoveEdge(0, 1)
+	h1 := g.CSR().ContentHash()
+	if h1 == h0 {
+		t.Fatal("edge removal did not change the hash")
+	}
+	g.RemoveNode(5)
+	if g.CSR().ContentHash() == h1 {
+		t.Fatal("node removal did not change the hash")
+	}
+
+	// Isolated-but-alive differs from dead at the same adjacency.
+	a := New(3)
+	a.AddEdge(0, 1)
+	b := New(3)
+	b.AddEdge(0, 1)
+	b.RemoveNode(2)
+	if a.CSR().ContentHash() == b.CSR().ContentHash() {
+		t.Fatal("alive mask not part of the hash")
+	}
+}

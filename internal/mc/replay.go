@@ -13,7 +13,12 @@ import (
 // for deterministic pairs, the fssga.Network replay driven by the chaos
 // replay scheduler) must reproduce the recorded per-activation digest
 // sequence exactly.
-func VerifyReplay(log *trace.RunLog) error {
+//
+// Malformed artifacts — picks outside the pair's topology, schedules
+// that activate dead nodes — surface as structured errors, never panics:
+// the replay engines treat divergence as a programming error internally,
+// so the boundary here converts their panics into verdicts.
+func VerifyReplay(log *trace.RunLog) (err error) {
 	name, ok := strings.CutPrefix(log.Target, "mc/")
 	if !ok {
 		return fmt.Errorf("mc: %q is not a model-checking artifact (target must be mc/<pair>)", log.Target)
@@ -25,6 +30,19 @@ func VerifyReplay(log *trace.RunLog) error {
 	if p.Spec != log.Graph {
 		return fmt.Errorf("mc: artifact graph %+v does not match pair %s graph %+v", log.Graph, p.Name, p.Spec)
 	}
+	// Bound every pick against the pair's own topology before handing
+	// the schedule to engines that index state vectors with it.
+	cap := mustBuild(p.Spec).Cap()
+	for i, v := range log.Picks {
+		if v < 0 || v >= cap {
+			return fmt.Errorf("mc: pick %d activates node %d outside the pair's %d-node topology", i, v, cap)
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("mc: replay rejected artifact: %v", r)
+		}
+	}()
 	pure := p.ReplayPure(log.Picks)
 	if !reflect.DeepEqual(pure, log.Digests) {
 		return fmt.Errorf("mc: pure-step replay digests diverge from artifact")

@@ -86,6 +86,47 @@ func RecsToEvents(recs []EventRec) ([]faults.Event, error) {
 	return events, nil
 }
 
+// Validate checks the structural integrity invariants every artifact
+// written by Save satisfies, so a truncated or hand-mangled file is
+// rejected with a precise error instead of feeding garbage into a replay
+// engine. It deliberately checks only what holds for every producer
+// (chaos runs, shrunk schedules, mc counterexamples); engine-specific
+// bounds — e.g. activation picks against the pair's topology — belong to
+// the replayer that knows them.
+func (l *RunLog) Validate() error {
+	switch {
+	case l.Target == "":
+		return fmt.Errorf("trace: run log has no target")
+	case l.Graph.Gen == "" || l.Graph.N <= 0:
+		return fmt.Errorf("trace: run log has no usable topology recipe (%+v)", l.Graph)
+	case l.Rounds < 0 || l.MaxRounds < 0 || l.AttackRounds < 0:
+		return fmt.Errorf("trace: negative round counters (rounds=%d max=%d attack=%d)",
+			l.Rounds, l.MaxRounds, l.AttackRounds)
+	case l.Round < 0 || l.Round > l.Rounds:
+		return fmt.Errorf("trace: violating round %d outside run of %d rounds", l.Round, l.Rounds)
+	case len(l.Digests) > 0 && len(l.Digests) != l.Rounds:
+		return fmt.Errorf("trace: %d digests for %d rounds", len(l.Digests), l.Rounds)
+	}
+	for i, e := range l.Events {
+		switch {
+		case e.Kind != "node" && e.Kind != "edge":
+			return fmt.Errorf("trace: event %d has unknown kind %q", i, e.Kind)
+		case e.Step < 0:
+			return fmt.Errorf("trace: event %d at negative step %d", i, e.Step)
+		case e.Kind == "node" && (e.Node < 0 || e.Node >= l.Graph.N):
+			return fmt.Errorf("trace: event %d kills node %d outside [0,%d)", i, e.Node, l.Graph.N)
+		case e.Kind == "edge" && (e.U < 0 || e.V < 0 || e.U >= l.Graph.N || e.V >= l.Graph.N || e.U == e.V):
+			return fmt.Errorf("trace: event %d kills malformed edge (%d,%d)", i, e.U, e.V)
+		}
+	}
+	for i, v := range l.Picks {
+		if v < 0 {
+			return fmt.Errorf("trace: pick %d activates negative node %d", i, v)
+		}
+	}
+	return nil
+}
+
 // Save writes the log as indented JSON to path.
 func (l *RunLog) Save(path string) error {
 	data, err := json.MarshalIndent(l, "", "  ")
@@ -104,6 +145,9 @@ func LoadRunLog(path string) (*RunLog, error) {
 	var l RunLog
 	if err := json.Unmarshal(data, &l); err != nil {
 		return nil, fmt.Errorf("trace: parse run log %s: %w", path, err)
+	}
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
 	}
 	return &l, nil
 }

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -40,9 +41,9 @@ func TestRunLogSaveLoad(t *testing.T) {
 		AttackRounds: 48,
 		Events:       EventsToRecs([]faults.Event{faults.NodeAt(2, 5), faults.EdgeAt(4, 1, 3)}),
 		Picks:        []int{0, 2, 1},
-		Rounds:       60,
+		Rounds:       3,
 		Violation:    "component disagreement",
-		Round:        31,
+		Round:        3,
 		Critical:     true,
 		Digests:      []uint64{1, 2, 3},
 		Shrunk:       true,
@@ -63,5 +64,83 @@ func TestRunLogSaveLoad(t *testing.T) {
 func TestLoadRunLogMissingFile(t *testing.T) {
 	if _, err := LoadRunLog(filepath.Join(t.TempDir(), "nope.json")); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// validLog is a structurally sound baseline the corruption table mutates.
+func validLog() *RunLog {
+	return &RunLog{
+		Target:  "census",
+		Graph:   GraphSpec{Gen: "cycle", N: 8, Seed: 1},
+		Rounds:  2,
+		Events:  []EventRec{{Step: 1, Kind: "node", Node: 3}, {Step: 2, Kind: "edge", U: 0, V: 1}},
+		Picks:   []int{0, 7},
+		Digests: []uint64{11, 22},
+	}
+}
+
+func TestRunLogValidate(t *testing.T) {
+	if err := validLog().Validate(); err != nil {
+		t.Fatalf("baseline rejected: %v", err)
+	}
+	cases := map[string]func(*RunLog){
+		"no target":           func(l *RunLog) { l.Target = "" },
+		"no generator":        func(l *RunLog) { l.Graph.Gen = "" },
+		"zero size":           func(l *RunLog) { l.Graph.N = 0 },
+		"negative rounds":     func(l *RunLog) { l.Rounds = -1; l.Digests = nil },
+		"negative max":        func(l *RunLog) { l.MaxRounds = -4 },
+		"round past run":      func(l *RunLog) { l.Round = 3 },
+		"digest count":        func(l *RunLog) { l.Digests = l.Digests[:1] },
+		"unknown event kind":  func(l *RunLog) { l.Events[0].Kind = "meteor" },
+		"negative event step": func(l *RunLog) { l.Events[0].Step = -1 },
+		"node out of range":   func(l *RunLog) { l.Events[0].Node = 8 },
+		"negative node":       func(l *RunLog) { l.Events[0].Node = -2 },
+		"edge self loop":      func(l *RunLog) { l.Events[1].V = 0 },
+		"edge out of range":   func(l *RunLog) { l.Events[1].U = 99 },
+		"negative pick":       func(l *RunLog) { l.Picks[1] = -1 },
+	}
+	for name, mutate := range cases {
+		l := validLog()
+		mutate(l)
+		if err := l.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestLoadRunLogRejectsCorruptFiles: every corrupt artifact class loads
+// as a structured error, never a silent partial log.
+func TestLoadRunLogRejectsCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	good := validLog()
+	path := filepath.Join(dir, "good.json")
+	if err := good.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"empty":          {},
+		"truncated":      data[:len(data)/2],
+		"not json":       []byte("==== not a run log ===="),
+		"wrong shape":    []byte(`{"target": 7}`),
+		"unknown kind":   []byte(`{"target":"x","graph":{"gen":"cycle","n":4},"events":[{"step":1,"kind":"?"}]}`),
+		"digests/rounds": []byte(`{"target":"x","graph":{"gen":"cycle","n":4},"rounds":2,"digests":[1,2,3]}`),
+	}
+	for name, body := range cases {
+		p := filepath.Join(dir, "bad.json")
+		if err := os.WriteFile(p, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadRunLog(p); err == nil {
+			t.Errorf("%s: loaded silently", name)
+		}
+	}
+
+	if _, err := LoadRunLog(path); err != nil {
+		t.Fatalf("pristine artifact rejected: %v", err)
 	}
 }

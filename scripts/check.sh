@@ -43,6 +43,9 @@ go test -race ./internal/chaos/... ./internal/faults/...
 echo "== chaos smoke campaign"
 go run ./cmd/fssga-chaos -smoke -out "$(mktemp -d)"
 
+echo "== crash-recovery soak (checkpoint durability)"
+go run ./cmd/fssga-chaos -crash
+
 echo "== model checker smoke"
 go run ./cmd/fssga-mc -smoke -out "$(mktemp -d)"
 
