@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test cover lint audit contracts race chaos-race chaos-smoke crash-soak mc-smoke bench perf bench-perf perf-gate
+.PHONY: check build test cover lint audit contracts race chaos-race chaos-smoke crash-soak mc-smoke bench perf bench-perf bench-hub perf-gate
 
 # Tier-1 verify path (ROADMAP.md): gofmt + build + vet + tests + race.
 check:
@@ -74,7 +74,14 @@ bench-perf:
 
 perf: bench-perf
 
-# The check.sh bench regression gate, standalone: re-measure the headline
-# series and fail if it is >1.6x slower than the committed report.
+# Hub-round series only: steady-state frontier rounds on heavy-hub
+# topologies, linear view scans vs divide-and-conquer tree aggregation,
+# with the linear/agg speedups printed. The fast iteration loop for the
+# aggregation subsystem; writes no JSON artifacts.
+bench-hub:
+	$(GO) run ./cmd/fssga-bench -hub
+
+# The check.sh bench regression gate, standalone: re-measure the gated
+# headline series and fail if any is >1.6x slower than the committed report.
 perf-gate:
 	$(GO) run ./cmd/fssga-bench -perfgate

@@ -80,3 +80,27 @@ func TestLoadPatternsRealPackage(t *testing.T) {
 		t.Fatalf("RunAnalyzers over real package: %v", err)
 	}
 }
+
+// TestLoadPatternsXTestVariantDependents pins the phase-3 recompilation
+// rule: an external _test package may import both its own package (the
+// test variant) and module packages layered on top of it — as
+// repro/internal/fssga's differential suite imports the algo packages —
+// and the loader must re-check those dependents against the variant
+// rather than hand the type checker two incompatible twins of the
+// underlying package.
+func TestLoadPatternsXTestVariantDependents(t *testing.T) {
+	l := analysis.NewLoader("")
+	units, err := l.LoadPatterns("repro/internal/fssga")
+	if err != nil {
+		t.Fatalf("LoadPatterns: %v", err)
+	}
+	var xtest bool
+	for _, u := range units {
+		if u.Path == "repro/internal/fssga_test" {
+			xtest = true
+		}
+	}
+	if !xtest {
+		t.Fatal("no repro/internal/fssga_test unit loaded; the variant-dependent case is no longer covered")
+	}
+}

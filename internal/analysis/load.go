@@ -135,9 +135,10 @@ type listedPackage struct {
 	XTestGoFiles []string
 	TestImports  []string
 	XTestImports []string
+	Deps         []string
 }
 
-const listFields = "ImportPath,Dir,Name,Export,DepOnly,Standard,GoFiles,CgoFiles,TestGoFiles,XTestGoFiles,TestImports,XTestImports"
+const listFields = "ImportPath,Dir,Name,Export,DepOnly,Standard,GoFiles,CgoFiles,TestGoFiles,XTestGoFiles,TestImports,XTestImports,Deps"
 
 // goList runs `go list -export -deps -json <args>`, records every export
 // file it reports, and returns the decoded packages in dependency order.
@@ -203,9 +204,18 @@ func (l *Loader) LoadPatterns(patterns ...string) ([]*Unit, error) {
 			extra = append(extra, imp)
 		}
 		sort.Strings(extra)
-		if _, err := l.goList(extra); err != nil {
+		more, err := l.goList(extra)
+		if err != nil {
 			return nil, err
 		}
+		pkgs = append(pkgs, more...)
+	}
+
+	// Everything go list reported, keyed by import path: phase 3 needs
+	// dependency metadata for arbitrary test imports, not just targets.
+	byPath := make(map[string]*listedPackage, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
 	}
 
 	// Phase 1: source-check every target's plain unit (GoFiles only) in
@@ -251,14 +261,23 @@ func (l *Loader) LoadPatterns(patterns ...string) ([]*Unit, error) {
 
 	// Phase 3: external _test packages. Importing their own package
 	// resolves to its test variant, so export_test.go helpers are
-	// visible; everything else comes from the shared caches.
+	// visible; and — as in the real `go test` build — every module
+	// package that transitively depends on that package is re-checked
+	// against the variant, so an xtest may import both its own package
+	// and packages built on top of it without type-identity splits.
 	for _, p := range targets {
 		if len(p.XTestGoFiles) == 0 {
 			continue
 		}
 		var imp types.Importer = l
 		if tv := testVariant[p.ImportPath]; tv != nil {
-			imp = &overrideImporter{base: l, path: p.ImportPath, pkg: tv}
+			imp = &variantImporter{
+				l:       l,
+				path:    p.ImportPath,
+				pkg:     tv,
+				byPath:  byPath,
+				rebuilt: make(map[string]*types.Package),
+			}
 		}
 		xt, err := l.check(p.ImportPath+"_test", p.Dir, p.XTestGoFiles, imp)
 		if err != nil {
@@ -269,23 +288,53 @@ func (l *Loader) LoadPatterns(patterns ...string) ([]*Unit, error) {
 	return units, nil
 }
 
-// overrideImporter serves one import path from a fixed package (a test
-// variant) and everything else from the loader.
-type overrideImporter struct {
-	base *Loader
-	path string
-	pkg  *types.Package
+// variantImporter resolves one import path to a test-variant package
+// and re-checks (from source) every module package depending on it, so
+// all routes into the variant observe a single *types.Package. Packages
+// outside the variant's dependents come from the loader's shared
+// caches. Re-checked shadow packages exist only for type identity; they
+// are never returned as analysis units.
+type variantImporter struct {
+	l       *Loader
+	path    string         // the overridden import path
+	pkg     *types.Package // its test variant
+	byPath  map[string]*listedPackage
+	rebuilt map[string]*types.Package
 }
 
-func (o *overrideImporter) Import(path string) (*types.Package, error) {
-	if path == o.path {
-		return o.pkg, nil
+func (vi *variantImporter) Import(path string) (*types.Package, error) {
+	if path == vi.path {
+		return vi.pkg, nil
 	}
-	return o.base.Import(path)
+	if p, ok := vi.rebuilt[path]; ok {
+		return p, nil
+	}
+	lp := vi.byPath[path]
+	if lp == nil || lp.Standard || !dependsOn(lp, vi.path) {
+		return vi.l.Import(path)
+	}
+	files := append(append([]string{}, lp.GoFiles...), lp.CgoFiles...)
+	u, err := vi.l.check(path, lp.Dir, files, vi)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: re-checking %s against the %s test variant: %w", path, vi.path, err)
+	}
+	vi.rebuilt[path] = u.Pkg
+	return u.Pkg, nil
 }
 
-func (o *overrideImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
-	return o.Import(path)
+func (vi *variantImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return vi.Import(path)
+}
+
+// dependsOn reports whether lp's transitive dependency closure (as
+// reported by go list) contains dep.
+func dependsOn(lp *listedPackage, dep string) bool {
+	for _, d := range lp.Deps {
+		if d == dep {
+			return true
+		}
+	}
+	return false
 }
 
 // check parses the named files in dir and type-checks them as one

@@ -1,0 +1,95 @@
+package fssga_test
+
+import (
+	"testing"
+
+	"repro/internal/fssga"
+)
+
+// FuzzAggregateFold drives the composition-table algebra with arbitrary
+// (threshold, period) footprints and increment sequences: folding the
+// sequence left-to-right, folding it as a balanced tree (the segment
+// tree's combine order), and projecting the exact integer total must
+// all land on the same canonical saturated value. This is the monoid
+// homomorphism the hub trees' exactness rests on — any fold-order or
+// saturation bug shows up as a three-way mismatch.
+func FuzzAggregateFold(f *testing.F) {
+	f.Add(byte(1), byte(0), []byte{1, 0, 1})             // presence footprint
+	f.Add(byte(0), byte(1), []byte{3, 1, 4, 1, 5})       // pure parity
+	f.Add(byte(2), byte(0), []byte{2, 2})                // capped count
+	f.Add(byte(5), byte(3), []byte{7, 0, 9, 1})          // mixed threshold+period
+	f.Add(byte(0), byte(0), []byte{})                    // empty sequence
+	f.Add(byte(200), byte(54), []byte{255, 255, 255, 1}) // near the uint8 ceiling
+	f.Fuzz(func(t *testing.T, tb, mb byte, data []byte) {
+		thresh := int(tb)
+		period := 1 + int(mb)%8
+		if thresh+period > 255 {
+			t.Skip("footprint outside the uint8 value range")
+		}
+		tab, err := fssga.SaturationTable(thresh, period)
+		if err != nil {
+			t.Fatalf("SaturationTable(%d, %d): %v", thresh, period, err)
+		}
+		if len(data) > 64 {
+			data = data[:64]
+		}
+		// Each input byte contributes c_i unit increments of one leaf.
+		counts := make([]int, len(data))
+		total := 0
+		for i, b := range data {
+			counts[i] = int(b)
+			total += counts[i]
+		}
+
+		// Per-leaf values, two ways: project the integer count, and apply
+		// the increment column count-many times. These must agree (Inc is
+		// the table's image of +1).
+		leaves := make([]uint8, len(counts))
+		for i, c := range counts {
+			leaves[i] = tab.Project(c)
+			inc := uint8(0)
+			for j := 0; j < c && j < thresh+2*period; j++ {
+				inc = tab.Inc(inc)
+			}
+			// Beyond thresh+2*period the Inc orbit has provably cycled, so
+			// fast-forward through the period instead of looping up to 255
+			// times per leaf.
+			if c >= thresh+2*period {
+				rem := (c - (thresh + 2*period)) % period
+				for j := 0; j < rem; j++ {
+					inc = tab.Inc(inc)
+				}
+			}
+			if inc != leaves[i] {
+				t.Fatalf("leaf %d: Inc^%d(0) = %d, Project(%d) = %d", i, c, inc, c, leaves[i])
+			}
+		}
+
+		want := tab.Project(total)
+
+		left := uint8(0)
+		for _, l := range leaves {
+			left = tab.Add(left, l)
+		}
+		if left != want {
+			t.Fatalf("left fold = %d, Project(total=%d) = %d (t=%d m=%d counts=%v)",
+				left, total, want, thresh, period, counts)
+		}
+
+		var balanced func(lo, hi int) uint8
+		balanced = func(lo, hi int) uint8 {
+			if hi-lo == 0 {
+				return 0
+			}
+			if hi-lo == 1 {
+				return leaves[lo]
+			}
+			mid := (lo + hi) / 2
+			return tab.Add(balanced(lo, mid), balanced(mid, hi))
+		}
+		if got := balanced(0, len(leaves)); got != want {
+			t.Fatalf("balanced fold = %d, Project(total=%d) = %d (t=%d m=%d counts=%v)",
+				got, total, want, thresh, period, counts)
+		}
+	})
+}

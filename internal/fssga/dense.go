@@ -75,6 +75,14 @@ func (net *Network[S]) newScratch() *viewScratch[S] {
 // buildView on the same scratch, which is exactly the duration of one
 // Step call.
 func (net *Network[S]) buildView(sc *viewScratch[S], nbrs []int32, snapshot []S) *View[S] {
+	return buildViewOver(net, sc, nbrs, snapshot)
+}
+
+// buildViewOver is the single linear-scan view-construction body, generic
+// over the neighbour index width so the engine's CSR []int32 rows and the
+// legacy []int adjacency of hoist_bench_test.go share one implementation
+// (the benchmark cannot drift from the real path).
+func buildViewOver[S comparable, N int | int32](net *Network[S], sc *viewScratch[S], nbrs []N, snapshot []S) *View[S] {
 	if sc.dense != nil {
 		for _, i := range sc.presIdx {
 			sc.dense[i] = 0

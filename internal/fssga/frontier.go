@@ -19,12 +19,27 @@ package fssga
 // parallel engine (SyncRoundParallelFrontier): whole node ranges are
 // skipped when neither they nor any range adjacent to them changed.
 
+// frontChange is one node's pending state change in a serial frontier
+// round: changes are buffered while the round reads the pre-round
+// snapshot and written back only at commit, so the round never pays the
+// O(n) copy-and-swap of the full engines.
+type frontChange[S comparable] struct {
+	v int32
+	s S
+}
+
 // SyncRoundFrontier performs one frontier-driven synchronous round. It
 // reports whether any state changed; a false return means the network was
 // already quiescent, and in that case nothing is committed: Rounds is not
 // incremented and OnRound does not fire, so a run driven by
 // SyncRoundFrontier counts exactly the rounds a SyncRound loop guarded by
 // Quiescent would have executed.
+//
+// The round costs O(|frontier| + Σ deg(frontier)), not O(n): the dirty
+// flags carry a compact vertex list, changes commit as a sparse
+// write-back into the state array, and a quiescent network re-probes in
+// O(1). Combined with the aggregate trees (agg.go) this is what makes a
+// steady-state hub round O(churn · log deg) instead of O(n + deg).
 //
 // Deterministic automata only: a Step that consults its random stream
 // desynchronizes the per-node streams when quiesced nodes are skipped.
@@ -35,52 +50,88 @@ func (net *Network[S]) SyncRoundFrontier() (changed bool) {
 	// again with the same round number next call.
 	net.beforeRound()
 	c := net.topo()
+	net.ensureAgg(c)
 	n := c.Cap()
-	if net.front == nil {
+	if len(net.front) != n {
 		net.front = make([]bool, n)
 		net.frontNext = make([]bool, n)
+		net.frontList = net.frontList[:0]
+		net.frontNextList = net.frontNextList[:0]
+		net.frontierOK = false
 	}
-	if !net.frontierOK || net.frontCSR != c {
-		for v := range net.front {
-			net.front[v] = true
-		}
-		net.frontierOK = true
-	}
+	full := !net.frontierOK || net.frontCSR != c
+	net.frontierOK = true
 	net.frontCSR = c
 
 	sc := net.serialScratch()
-	copy(net.next, net.states)
-	for v := range net.frontNext {
-		net.frontNext[v] = false
+	// Changed nodes are recorded precisely and their tree leaves marked
+	// only at commit: a mark consumed by a later hubView in the *same*
+	// round would rescan pre-commit states and then wrongly clear itself.
+	aggOn := net.aggActive()
+	var aggChanged []int32
+	if aggOn {
+		aggChanged = net.agg.changed[:0]
 	}
-	for v := 0; v < n; v++ {
-		if !net.front[v] {
-			continue
+	changes := net.frontChanges[:0]
+	net.frontNextList = net.frontNextList[:0]
+	mark := func(u int32) {
+		if !net.frontNext[u] {
+			net.frontNext[u] = true
+			net.frontNextList = append(net.frontNextList, u)
 		}
+	}
+	step := func(v int) {
 		nbrs := c.Neighbors(v)
 		if len(nbrs) == 0 {
-			continue
+			return
 		}
-		view := net.buildView(sc, nbrs, net.states)
+		view := net.viewFor(sc, v, nbrs, net.states)
 		s := net.auto.Step(net.states[v], view, net.rngs[v])
 		if s != net.states[v] {
-			net.next[v] = s
-			changed = true
+			changes = append(changes, frontChange[S]{v: int32(v), s: s})
 			// The change is visible to v itself and its neighbours next
 			// round.
-			net.frontNext[v] = true
+			mark(int32(v))
 			for _, u := range nbrs {
-				net.frontNext[u] = true
+				mark(u)
+			}
+			if aggOn {
+				aggChanged = append(aggChanged, int32(v))
 			}
 		}
 	}
+	if full {
+		for v := 0; v < n; v++ {
+			step(v)
+		}
+	} else {
+		for _, v := range net.frontList {
+			step(int(v))
+		}
+	}
+	// Retire the consumed frontier (its flags must read false next round)
+	// and adopt the one just built.
+	for _, v := range net.frontList {
+		net.front[v] = false
+	}
 	net.front, net.frontNext = net.frontNext, net.front
-	if !changed {
+	net.frontList, net.frontNextList = net.frontNextList, net.frontList
+	if len(changes) == 0 {
 		// Quiescent: the empty frontier stays valid, so repeated calls
-		// cost O(n) flag scans and build no views at all.
+		// cost O(1) and build no views at all.
+		net.frontChanges = changes
 		return false
 	}
-	net.states, net.next = net.next, net.states
+	if aggOn {
+		for _, v := range aggChanged {
+			net.agg.noteChanged(v)
+		}
+		net.agg.changed = aggChanged[:0]
+	}
+	for _, ch := range changes {
+		net.states[ch.v] = ch.s
+	}
+	net.frontChanges = changes[:0]
 	net.Rounds++
 	net.shardFront.ok = false // shard-granular bookkeeping is now stale
 	if net.OnRound != nil {

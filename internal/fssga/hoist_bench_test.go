@@ -26,46 +26,11 @@ func legacyRound[S comparable](net *Network[S], nbrBuf []int) []int {
 			continue
 		}
 		nbrBuf = net.G.SortedNeighbors(v, nbrBuf[:0])
-		view := net.buildViewFromInts(sc, nbrBuf, net.states)
+		view := buildViewOver(net, sc, nbrBuf, net.states)
 		net.next[v] = net.auto.Step(net.states[v], view, net.rngs[v])
 	}
 	net.states, net.next = net.next, net.states
 	return nbrBuf
-}
-
-// buildViewFromInts is buildView over an []int neighbour slice, used
-// only by the legacy-path benchmark above.
-func (net *Network[S]) buildViewFromInts(sc *viewScratch[S], nbrs []int, snapshot []S) *View[S] {
-	if sc.dense != nil {
-		for _, i := range sc.presIdx {
-			sc.dense[i] = 0
-		}
-		sc.present = sc.present[:0]
-		sc.presIdx = sc.presIdx[:0]
-		for _, u := range nbrs {
-			s := snapshot[u]
-			i := net.idx(s)
-			if sc.dense[i] == 0 {
-				sc.present = append(sc.present, s)
-				sc.presIdx = append(sc.presIdx, int32(i))
-			}
-			sc.dense[i]++
-		}
-		sc.view = View[S]{
-			total:   len(nbrs),
-			dense:   sc.dense,
-			present: sc.present,
-			presIdx: sc.presIdx,
-			idx:     net.idx,
-		}
-		return &sc.view
-	}
-	clear(sc.counts)
-	for _, u := range nbrs {
-		sc.counts[snapshot[u]]++
-	}
-	sc.view = View[S]{counts: sc.counts, total: len(nbrs)}
-	return &sc.view
 }
 
 func benchTopologyNet(seed int64) *Network[int] {

@@ -58,15 +58,27 @@ type Network[S comparable] struct {
 	roundActive atomic.Bool
 	rngSnap     []uint64
 
-	// Serial frontier round mode (see frontier.go).
-	front      []bool
-	frontNext  []bool
-	frontierOK bool
-	frontCSR   *graph.CSR
+	// Serial frontier round mode (see frontier.go). The bool arrays are
+	// dirty flags, each shadowed by a compact list of its set positions
+	// so a steady-state round is O(frontier), not O(n); frontChanges is
+	// the round's buffered sparse write-back.
+	front         []bool
+	frontNext     []bool
+	frontList     []int32
+	frontNextList []int32
+	frontChanges  []frontChange[S]
+	frontierOK    bool
+	frontCSR      *graph.CSR
 
 	// Shard-granular frontier state for parallel frontier rounds (see
 	// shard.go).
 	shardFront shardFrontier
+
+	// Divide-and-conquer view aggregation for high-degree nodes (see
+	// agg.go): non-nil once a round ran with a SaturatingAutomaton on the
+	// dense path; rebuilt whenever the CSR snapshot or cutoff changes.
+	agg       *aggState[S]
+	aggCutoff int
 
 	// Rounds counts completed synchronous rounds; Activations counts
 	// single-node asynchronous activations.
@@ -180,6 +192,7 @@ func (net *Network[S]) State(v int) S { return net.states[v] }
 func (net *Network[S]) SetState(v int, s S) {
 	net.states[v] = s
 	net.invalidateFrontiers() // out-of-band change: frontier bookkeeping is stale
+	net.invalidateAgg()       // ...and so are the hub aggregate trees
 }
 
 // States returns the internal state slice (indexed by node ID). Callers
@@ -251,6 +264,7 @@ func (net *Network[S]) RestoreStates(states []S, rounds int) error {
 	copy(net.states, states)
 	net.Rounds = rounds
 	net.invalidateFrontiers()
+	net.invalidateAgg()
 	return nil
 }
 
@@ -273,8 +287,13 @@ func (net *Network[S]) Activate(v int) {
 	if len(nbrs) == 0 {
 		return
 	}
-	view := net.buildView(net.serialScratch(), nbrs, net.states)
-	net.states[v] = net.auto.Step(net.states[v], view, net.rngs[v])
+	net.ensureAgg(c)
+	old := net.states[v]
+	view := net.viewFor(net.serialScratch(), v, nbrs, net.states)
+	net.states[v] = net.auto.Step(old, view, net.rngs[v])
+	if net.aggActive() && net.states[v] != old {
+		net.agg.noteChanged(int32(v))
+	}
 	net.Activations++
 	net.invalidateFrontiers()
 }
@@ -289,6 +308,7 @@ func (net *Network[S]) Activate(v int) {
 func (net *Network[S]) SyncRound() {
 	net.beforeRound()
 	c := net.topo()
+	net.ensureAgg(c)
 	sc := net.serialScratch()
 	for v := 0; v < c.Cap(); v++ {
 		nbrs := c.Neighbors(v)
@@ -296,7 +316,7 @@ func (net *Network[S]) SyncRound() {
 			net.next[v] = net.states[v]
 			continue
 		}
-		view := net.buildView(sc, nbrs, net.states)
+		view := net.viewFor(sc, v, nbrs, net.states)
 		net.next[v] = net.auto.Step(net.states[v], view, net.rngs[v])
 	}
 	net.commitRound()
@@ -316,6 +336,7 @@ func (net *Network[S]) beforeRound() {
 // hooks. Full rounds do not maintain frontier bookkeeping, so any frontier
 // state becomes stale.
 func (net *Network[S]) commitRound() {
+	net.aggNoteDiff(0, len(net.states)) // before the swap: states=old, next=new
 	net.states, net.next = net.next, net.states
 	net.Rounds++
 	net.invalidateFrontiers()
@@ -355,6 +376,7 @@ func (net *Network[S]) RunSyncParallel(maxRounds, workers int, done func(net *Ne
 // are not consumed.
 func (net *Network[S]) Quiescent() bool {
 	c := net.topo()
+	net.ensureAgg(c)
 	sc := net.serialScratch()
 	probe := rand.New(rand.NewSource(1))
 	for v := 0; v < c.Cap(); v++ {
@@ -362,7 +384,7 @@ func (net *Network[S]) Quiescent() bool {
 		if len(nbrs) == 0 {
 			continue
 		}
-		view := net.buildView(sc, nbrs, net.states)
+		view := net.viewFor(sc, v, nbrs, net.states)
 		if net.auto.Step(net.states[v], view, probe) != net.states[v] {
 			return false
 		}

@@ -234,6 +234,7 @@ func (net *Network[S]) TrySyncRoundParallel(workers int) error {
 	}
 	net.beforeRound() // exactly once, even across supervised retries
 	c := net.topo()
+	net.ensureAgg(c) // serially, before any worker can touch a hub tree
 	span := shardSpan(n, workers)
 	shards := (n + span - 1) / span
 	snapshot, next := net.states, net.next
@@ -255,7 +256,7 @@ func (net *Network[S]) TrySyncRoundParallel(workers int) error {
 					next[v] = snapshot[v]
 					continue
 				}
-				view := net.buildView(sc, nbrs, snapshot)
+				view := net.viewFor(sc, v, nbrs, snapshot)
 				next[v] = net.auto.Step(snapshot[v], view, net.rngs[v])
 			}
 		}
@@ -370,6 +371,7 @@ func (net *Network[S]) TrySyncRoundParallelFrontier(workers int) (changed bool, 
 	}
 	net.beforeRound() // exactly once, even across supervised retries
 	c := net.topo()
+	net.ensureAgg(c) // serially, before any worker can touch a hub tree
 	span := shardSpan(n, workers)
 	f := &net.shardFront
 	if f.csr != c || f.span != span {
@@ -421,7 +423,7 @@ func (net *Network[S]) TrySyncRoundParallelFrontier(workers int) (changed bool, 
 					next[v] = snapshot[v]
 					continue
 				}
-				view := net.buildView(sc, nbrs, snapshot)
+				view := net.viewFor(sc, v, nbrs, snapshot)
 				s2 := net.auto.Step(snapshot[v], view, net.rngs[v])
 				next[v] = s2
 				if s2 != snapshot[v] {
@@ -448,6 +450,19 @@ func (net *Network[S]) TrySyncRoundParallelFrontier(workers int) (changed bool, 
 		// Quiescent: all shards clean, nothing committed; subsequent
 		// calls skip every shard.
 		return false, nil
+	}
+	if net.aggActive() {
+		// Inactive shards were memcpy'd, so only active ones can differ.
+		for s := 0; s < shards; s++ {
+			if !f.active[s] {
+				continue
+			}
+			hi := (s + 1) * span
+			if hi > n {
+				hi = n
+			}
+			net.aggNoteDiff(s*span, hi)
+		}
 	}
 	net.states, net.next = net.next, net.states
 	net.Rounds++

@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Heavy-hub topologies for the view-aggregation experiments: a streaming
+// star and a symmetry-replicated power-law graph. Both come in two
+// equivalent forms — a streaming CSR builder that never materializes the
+// mutable Graph (million-node benches) and a mutable twin (fault
+// injection needs RemoveNode/RemoveEdge) — pinned identical by
+// content-hash tests.
+
+// StarCSR returns the star K_{1,n-1} (hub 0, leaves 1..n-1) as a CSR
+// snapshot, equivalent to Star(n).CSR(). The canonical worst case for
+// linear view scans: one node of degree n-1.
+func StarCSR(n int) *CSR {
+	if n < 2 {
+		panic(fmt.Sprintf("graph: StarCSR(%d) needs n >= 2", n))
+	}
+	c := newFullCSR(n, 2*(n-1), n-1)
+	for i := 1; i < n; i++ {
+		c.neighbors[i-1] = int32(i)
+	}
+	pos := int32(n - 1)
+	for v := 1; v < n; v++ {
+		c.offsets[v] = pos
+		c.neighbors[pos] = 0
+		pos++
+	}
+	c.offsets[n] = pos
+	return c
+}
+
+// plawBase builds one preferential-attachment block: a path over the
+// first epn+1 seed nodes, then each node v attaches to epn distinct
+// earlier nodes sampled proportionally to degree (classic endpoint-list
+// sampling), giving the power-law degree tail whose early nodes are the
+// hubs. Rows are returned sorted. Deterministic in (block, epn, seed).
+func plawBase(block, epn int, seed int64) [][]int32 {
+	if epn < 1 || block < epn+2 {
+		panic(fmt.Sprintf("graph: power-law block needs epn >= 1 and block >= epn+2, got block=%d epn=%d", block, epn))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	adj := make([][]int32, block)
+	// Endpoint list: every half-edge appends its endpoint, so sampling a
+	// uniform entry samples a node proportionally to its degree.
+	endpoints := make([]int32, 0, 2*epn*block)
+	link := func(u, v int32) {
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+		endpoints = append(endpoints, u, v)
+	}
+	for v := 1; v <= epn; v++ {
+		link(int32(v-1), int32(v))
+	}
+	targets := make([]int32, 0, epn)
+	for v := epn + 1; v < block; v++ {
+		targets = targets[:0]
+		for len(targets) < epn {
+			t := endpoints[rng.Intn(len(endpoints))]
+			dup := false
+			for _, u := range targets {
+				if u == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				targets = append(targets, t)
+			}
+		}
+		for _, t := range targets {
+			link(t, int32(v))
+		}
+	}
+	for _, row := range adj {
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+	}
+	return adj
+}
+
+// plawRing returns the inter-copy edges of the replicated topology: the
+// node-0 hubs of consecutive copies form a path, closed into a ring when
+// there are at least three copies (two copies would duplicate the edge).
+func plawRing(copies int) int {
+	if copies < 2 {
+		return 0
+	}
+	ring := copies - 1
+	if copies >= 3 {
+		ring++
+	}
+	return ring
+}
+
+// PLaw returns the symmetry-replicated power-law graph as a mutable
+// Graph: `copies` identical preferential-attachment blocks of `block`
+// nodes (copy c's node v has ID c*block + v), with the blocks' node-0
+// hubs connected in a ring so the graph is connected. Equivalent to
+// PLawCSR with the same parameters; use this form when fault injection
+// must mutate the topology.
+func PLaw(block, copies, epn int, seed int64) *Graph {
+	if copies < 1 {
+		panic(fmt.Sprintf("graph: PLaw needs copies >= 1, got %d", copies))
+	}
+	base := plawBase(block, epn, seed)
+	g := New(block * copies)
+	for c := 0; c < copies; c++ {
+		shift := c * block
+		for v, row := range base {
+			for _, u := range row {
+				if int32(v) < u {
+					g.AddEdge(shift+v, shift+int(u))
+				}
+			}
+		}
+	}
+	for c := 0; c+1 < copies; c++ {
+		g.AddEdge(c*block, (c+1)*block)
+	}
+	if copies >= 3 {
+		g.AddEdge(0, (copies-1)*block)
+	}
+	return g
+}
+
+// PLawCSR is the streaming twin of PLaw: it replicates the base block
+// straight into flat CSR arrays, so million-node power-law topologies
+// cost one small block's preferential-attachment run plus two array
+// fills. Bit-identical to PLaw(...).CSR() (content-hash-pinned by test).
+func PLawCSR(block, copies, epn int, seed int64) *CSR {
+	if copies < 1 {
+		panic(fmt.Sprintf("graph: PLawCSR needs copies >= 1, got %d", copies))
+	}
+	base := plawBase(block, epn, seed)
+	half := 0
+	for _, row := range base {
+		half += len(row)
+	}
+	n := block * copies
+	edges := copies*(half/2) + plawRing(copies)
+	c := newFullCSR(n, copies*half+2*plawRing(copies), edges)
+	pos := int32(0)
+	for cp := 0; cp < copies; cp++ {
+		shift := int32(cp * block)
+		for v, row := range base {
+			id := int(shift) + v
+			c.offsets[id] = pos
+			if v == 0 {
+				// Ring neighbours below the block's ID range come first;
+				// shifted base rows lie strictly inside (shift, shift+block).
+				if cp == copies-1 && copies >= 3 {
+					c.neighbors[pos] = 0
+					pos++
+				}
+				if cp > 0 {
+					c.neighbors[pos] = shift - int32(block)
+					pos++
+				}
+			}
+			for _, u := range row {
+				c.neighbors[pos] = shift + u
+				pos++
+			}
+			if v == 0 {
+				if cp+1 < copies {
+					c.neighbors[pos] = shift + int32(block)
+					pos++
+				}
+				if cp == 0 && copies >= 3 {
+					c.neighbors[pos] = int32((copies - 1) * block)
+					pos++
+				}
+			}
+		}
+	}
+	c.offsets[n] = pos
+	return c
+}

@@ -31,8 +31,11 @@ go run ./cmd/fssga-vet -audit repro/... > /dev/null
 echo "== go test -cover ./... (coverage ratchet)"
 ./scripts/coverage.sh
 
-echo "== perf regression gate (headline series vs committed BENCH_engine.json)"
+echo "== perf regression gate (gated headline series vs committed BENCH_engine.json)"
 go run ./cmd/fssga-bench -perfgate
+
+echo "== aggregation differential suite under race (tree views vs linear scans)"
+go test -race -run 'TestAggDifferential' ./internal/fssga/
 
 echo "== go test -race ./internal/fssga/... ./internal/algo/..."
 go test -race ./internal/fssga/... ./internal/algo/...
