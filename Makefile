@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test cover lint audit contracts race chaos-race chaos-smoke crash-soak mc-smoke bench perf bench-perf bench-hub perf-gate
+.PHONY: check build test cover lint audit vet-self contracts race chaos-race chaos-smoke crash-soak mc-smoke bench perf bench-perf bench-hub perf-gate
 
 # Tier-1 verify path (ROADMAP.md): gofmt + build + vet + tests + race.
 check:
@@ -17,18 +17,27 @@ test:
 cover:
 	./scripts/coverage.sh
 
-# Determinism, symmetry and model-contract static analyzers
+# Determinism, symmetry, model-contract and hot-path static analyzers
 # (internal/analysis) via the fssga-vet multichecker: detrand, maporder,
-# viewpure, seedplumb, globalwrite, symcontract, finstate, capinfer.
-# Exit 1 on any finding not carrying an audited //fssga:nondet directive.
+# viewpure, seedplumb, globalwrite, symcontract, finstate, capinfer,
+# hotalloc, shardsafe. Exit 1 on any finding not carrying an audited
+# //fssga:nondet or //fssga:alloc directive.
 lint:
 	$(GO) run ./cmd/fssga-vet repro/...
-	$(GO) run ./cmd/fssga-vet -audit repro/... > /dev/null
+	$(GO) run ./cmd/fssga-vet -audit -ratchet scripts/suppression_ratchet.txt repro/... > /dev/null
 
-# Inventory the //fssga:nondet suppression directives with the analyzers
-# each one absorbs; exit 1 if any directive is stale.
+# Inventory the //fssga:nondet and //fssga:alloc suppression directives
+# with the analyzers each one absorbs; exit 1 if any directive is stale
+# or a per-analyzer count exceeds its scripts/suppression_ratchet.txt
+# ceiling.
 audit:
-	$(GO) run ./cmd/fssga-vet -audit repro/...
+	$(GO) run ./cmd/fssga-vet -audit -ratchet scripts/suppression_ratchet.txt repro/...
+
+# Run the analyzer suite over its own implementation and driver: the
+# analysis framework must hold itself to the determinism contracts it
+# enforces on the engine.
+vet-self:
+	$(GO) run ./cmd/fssga-vet repro/internal/analysis/... repro/cmd/fssga-vet
 
 # Statically inferred mod-thresh observation footprints (Theorem 3.7
 # normal form), cross-checked dynamically in internal/mc witness tests.

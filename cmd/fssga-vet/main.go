@@ -1,12 +1,14 @@
-// Command fssga-vet runs the repository's determinism and symmetry
-// analyzers (detrand, maporder, viewpure, seedplumb, globalwrite,
-// symcontract, finstate, capinfer) over Go packages. It has two modes:
+// Command fssga-vet runs the repository's determinism, symmetry and
+// hot-path analyzers (detrand, maporder, viewpure, seedplumb,
+// globalwrite, symcontract, finstate, capinfer, hotalloc, shardsafe)
+// over Go packages. It has two modes:
 //
 // Standalone, over go package patterns (the default is ./...):
 //
 //	fssga-vet [-json] [-analyzers detrand,maporder] [patterns...]
 //	fssga-vet -fixtures internal/analysis/testdata/src detrand
-//	fssga-vet -audit repro/...     # inventory //fssga:nondet directives
+//	fssga-vet -audit repro/...     # inventory suppression directives
+//	fssga-vet -audit -ratchet scripts/suppression_ratchet.txt repro/...
 //	fssga-vet -contracts repro/... # inferred mod-thresh footprints
 //
 // As a go vet tool, speaking the cmd/go vet-tool protocol (-V=full,
@@ -14,13 +16,14 @@
 //
 //	go vet -vettool=$(which fssga-vet) ./...
 //
-// With -json, output is a versioned envelope {"schemaVersion": 2, ...}
+// With -json, output is a versioned envelope {"schemaVersion": 3, ...}
 // carrying a "findings", "directives" or "contracts" array depending on
 // the mode, each in a stable sorted order.
 //
 // Exit status: 0 when clean, 1 when the analyzers report findings (or
-// -audit finds a stale directive), 2 when loading or type-checking
-// fails.
+// -audit finds a stale directive or a suppression count above its
+// -ratchet ceiling), 2 when loading or type-checking fails — including
+// patterns that match no packages.
 package main
 
 import (
@@ -31,6 +34,7 @@ import (
 	"go/token"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -39,8 +43,10 @@ import (
 const progName = "fssga-vet"
 
 // schemaVersion tags every -json envelope; bump it when the output
-// shape changes incompatibly. Version 1 was the bare findings array.
-const schemaVersion = 2
+// shape changes incompatibly. Version 1 was the bare findings array;
+// version 2 wrapped it in the envelope; version 3 added the "directive"
+// kind field to audit entries when //fssga:alloc joined //fssga:nondet.
+const schemaVersion = 3
 
 type findingsEnvelope struct {
 	SchemaVersion int                `json:"schemaVersion"`
@@ -63,6 +69,59 @@ func emitJSON(stdout, stderr io.Writer, v any) int {
 	if err := enc.Encode(v); err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
+	}
+	return 0
+}
+
+// checkRatchet compares per-analyzer live-suppression counts against the
+// ceilings in path (lines of "analyzer N", # comments). Every analyzer
+// with suppressions must have a ceiling — an unlisted analyzer's ceiling
+// is zero — so a new suppression always needs an explicit, reviewable
+// ceiling bump. Counts below a ceiling are reported as a reminder to
+// ratchet it down; only counts above one fail.
+func checkRatchet(path string, counts map[string]int, stderr io.Writer) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "%s: reading suppression ratchet: %v\n", progName, err)
+		return 2
+	}
+	ceilings := make(map[string]int)
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		var n int
+		if len(fields) != 2 {
+			fmt.Fprintf(stderr, "%s: %s:%d: want \"analyzer count\", got %q\n", progName, path, i+1, line)
+			return 2
+		}
+		if _, err := fmt.Sscanf(fields[1], "%d", &n); err != nil || n < 0 {
+			fmt.Fprintf(stderr, "%s: %s:%d: bad count %q\n", progName, path, i+1, fields[1])
+			return 2
+		}
+		ceilings[fields[0]] = n
+	}
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	over := 0
+	for _, name := range names {
+		switch c, ceil := counts[name], ceilings[name]; {
+		case c > ceil:
+			fmt.Fprintf(stderr, "%s: %d live %s suppression(s) exceed the ceiling of %d in %s: fix the diagnostics or raise the ceiling with a written justification\n",
+				progName, c, name, ceil, path)
+			over++
+		case c < ceil:
+			fmt.Fprintf(stderr, "%s: note: %s has %d live suppression(s), ceiling %d in %s can ratchet down\n",
+				progName, name, c, ceil, path)
+		}
+	}
+	if over > 0 {
+		return 1
 	}
 	return 0
 }
@@ -92,10 +151,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit a versioned JSON envelope on stdout")
 	names := fs.String("analyzers", "", "comma-separated subset of analyzers (default: all)")
 	fixtureRoot := fs.String("fixtures", "", "treat patterns as fixture package names under this directory")
-	audit := fs.Bool("audit", false, "list //fssga:nondet directives with audit status; exit 1 if any is stale")
+	audit := fs.Bool("audit", false, "list suppression directives with audit status; exit 1 if any is stale")
+	ratchet := fs.String("ratchet", "", "with -audit: ceiling file of per-analyzer suppression counts; exceeding a ceiling exits 1")
 	contracts := fs.Bool("contracts", false, "emit inferred mod-thresh observation contracts instead of findings")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: %s [-json] [-analyzers names] [-fixtures dir] [-audit|-contracts] [patterns]\n\nAnalyzers:\n", progName)
+		fmt.Fprintf(stderr, "usage: %s [-json] [-analyzers names] [-fixtures dir] [-audit [-ratchet file]|-contracts] [patterns]\n\nAnalyzers:\n", progName)
 		for _, a := range analysis.All() {
 			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -133,6 +193,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
+	if len(units) == 0 {
+		// go list accepts relative patterns that match nothing with exit 0,
+		// so an empty load would otherwise report a vacuously clean tree.
+		what := strings.Join(fs.Args(), " ")
+		if what == "" {
+			what = "(no patterns)"
+		}
+		fmt.Fprintf(stderr, "%s: no packages matched %s\n", progName, what)
+		return 2
+	}
 
 	switch {
 	case *audit:
@@ -159,8 +229,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		if stale > 0 {
-			fmt.Fprintf(stderr, "%s: %d stale //fssga:nondet directive(s) suppress nothing; remove them\n", progName, stale)
+			fmt.Fprintf(stderr, "%s: %d stale suppression directive(s) suppress nothing; remove them\n", progName, stale)
 			return 1
+		}
+		if *ratchet != "" {
+			return checkRatchet(*ratchet, analysis.SuppressionCounts(dirs), stderr)
 		}
 		return 0
 

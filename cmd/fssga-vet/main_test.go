@@ -92,19 +92,32 @@ func TestJSONEmptyFindingsOnClean(t *testing.T) {
 
 // TestJSONGolden pins the -json envelope byte-for-byte: schemaVersion,
 // field names, ordering and indentation are all part of the tool's
-// contract with scripts/check.sh and any CI consumer.
+// contract with scripts/check.sh and any CI consumer. One golden per
+// envelope-shaping analyzer family: maporder for the determinism suite,
+// hotalloc and shardsafe for the hot-path gate.
 func TestJSONGolden(t *testing.T) {
-	var out, errb bytes.Buffer
-	if code := run([]string{"-json", "-fixtures", fixtureRoot, "maporder"}, &out, &errb); code != 1 {
-		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, errb.String())
-	}
-	goldenPath := filepath.Join("testdata", "maporder.golden.json")
-	want, err := os.ReadFile(goldenPath)
-	if err != nil {
-		t.Fatalf("reading golden file: %v (regenerate with: go run . -json -fixtures %s maporder > cmd/fssga-vet/%s)", err, fixtureRoot, goldenPath)
-	}
-	if !bytes.Equal(out.Bytes(), want) {
-		t.Fatalf("-json output drifted from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, out.String(), want)
+	for _, tc := range []struct {
+		golden string
+		args   []string
+	}{
+		{"maporder.golden.json", []string{"-json", "-fixtures", fixtureRoot, "maporder"}},
+		{"hotalloc.golden.json", []string{"-json", "-analyzers", "hotalloc", "-fixtures", fixtureRoot, "hotalloc"}},
+		{"shardsafe.golden.json", []string{"-json", "-analyzers", "shardsafe", "-fixtures", fixtureRoot, "shardsafe/fssga"}},
+	} {
+		t.Run(tc.golden, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb); code != 1 {
+				t.Fatalf("exit %d, want 1\nstderr:\n%s", code, errb.String())
+			}
+			goldenPath := filepath.Join("testdata", tc.golden)
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("reading golden file: %v (regenerate with: go run . %s > cmd/fssga-vet/%s)", err, strings.Join(tc.args, " "), goldenPath)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Fatalf("-json output drifted from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, out.String(), want)
+			}
+		})
 	}
 }
 
@@ -148,6 +161,11 @@ func TestAuditStaleDirectiveExitsOne(t *testing.T) {
 	if !d.Stale() || d.Reason != "left behind after the offending call was removed" {
 		t.Fatalf("directive = %+v, want stale with the fixture's reason", d)
 	}
+	// The "directive" kind field is what schemaVersion 3 added: consumers
+	// distinguish //fssga:nondet from //fssga:alloc entries by it.
+	if !strings.Contains(out.String(), `"directive": "//fssga:nondet"`) {
+		t.Fatalf("-audit -json envelope lacks the directive kind field:\n%s", out.String())
+	}
 	if !strings.Contains(errb.String(), "stale") {
 		t.Fatalf("stderr does not explain the failure:\n%s", errb.String())
 	}
@@ -177,13 +195,85 @@ func TestContractsJSON(t *testing.T) {
 	t.Fatalf("no contract for the twocolor automaton in %s", out.String())
 }
 
-func TestUnknownAnalyzerExitsTwo(t *testing.T) {
-	var out, errb bytes.Buffer
-	if code := run([]string{"-analyzers", "bogus"}, &out, &errb); code != 2 {
-		t.Fatalf("exit %d, want 2", code)
+// TestBadInvocationExitsTwo pins the argument-hardening contract: every
+// way of pointing the tool at nothing — an unknown analyzer, a pattern
+// go list rejects, a pattern that matches zero packages, a fixture that
+// does not exist, or a fixture root with no patterns — must exit 2 with
+// a diagnostic on stderr, never a vacuous clean exit 0.
+func TestBadInvocationExitsTwo(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		args   []string
+		stderr string // required substring of the diagnostic
+	}{
+		{"unknown analyzer", []string{"-analyzers", "bogus"}, "bogus"},
+		{"go list failure", []string{"./no-such-dir/..."}, "no-such-dir"},
+		{"nonexistent import path", []string{"repro/internal/nosuchpackage"}, "nosuchpackage"},
+		{"zero-package match", []string{"-fixtures", fixtureRoot}, "no packages matched"},
+		{"nonexistent fixture", []string{"-fixtures", fixtureRoot, "nosuchfixture"}, "nosuchfixture"},
+		{"bad flag", []string{"-frobnicate"}, "frobnicate"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb); code != 2 {
+				t.Fatalf("exit %d, want 2\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+			}
+			if !strings.Contains(errb.String(), tc.stderr) {
+				t.Fatalf("stderr lacks %q:\n%s", tc.stderr, errb.String())
+			}
+		})
 	}
-	if !strings.Contains(errb.String(), "bogus") {
-		t.Fatalf("error does not name the unknown analyzer:\n%s", errb.String())
+}
+
+// The committed suppression ratchet must fit the committed tree exactly
+// from above: the audit gate goes red the moment a suppression is added
+// without a ceiling bump.
+func TestAuditRatchetCleanTree(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-audit", "-ratchet", "../../scripts/suppression_ratchet.txt", "repro/..."}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstderr:\n%s", code, errb.String())
+	}
+}
+
+func TestAuditRatchetViolations(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	for _, tc := range []struct {
+		name    string
+		ratchet string
+		code    int
+		stderr  string
+	}{
+		{"over ceiling", "symcontract 0\n", 1, "exceed the ceiling"},
+		{"unlisted analyzer is ceiling zero", "# nothing listed\n", 1, "ceiling of 0"},
+		{"slack ceiling notes ratchet-down", "symcontract 99\n", 0, "can ratchet down"},
+		{"malformed line", "symcontract one two\n", 2, "want \"analyzer count\""},
+		{"bad count", "symcontract many\n", 2, "bad count"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			// election.go carries symcontract suppressions; scope the audit
+			// to one package so the fixture ceilings stay readable.
+			code := run([]string{"-audit", "-ratchet", write("r.txt", tc.ratchet), "repro/internal/algo/election"}, &out, &errb)
+			if code != tc.code {
+				t.Fatalf("exit %d, want %d\nstderr:\n%s", code, tc.code, errb.String())
+			}
+			if !strings.Contains(errb.String(), tc.stderr) {
+				t.Fatalf("stderr lacks %q:\n%s", tc.stderr, errb.String())
+			}
+		})
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-audit", "-ratchet", filepath.Join(dir, "missing.txt"), "repro/internal/algo/election"}, &out, &errb); code != 2 {
+		t.Fatalf("missing ratchet file: exit %d, want 2\nstderr:\n%s", code, errb.String())
 	}
 }
 

@@ -37,13 +37,31 @@
 // export data with a source-importer fallback), so it runs in hermetic
 // build environments where golang.org/x/tools is unavailable.
 //
+// Two hot-path analyzers extend the suite beyond determinism to the
+// engine's performance contracts (the sharded double-buffered rounds and
+// the O(log deg) hub aggregation both depend on them):
+//
+//   - hotalloc: functions marked //fssga:hotpath must be provably free
+//     of heap allocation — no append growth, interface boxing, escaping
+//     composite literals, closures or map/slice/string conversions —
+//     with audited exceptions carried by //fssga:alloc(reason);
+//   - shardsafe: inside shard-pool worker round bodies, stores to the
+//     double-buffered next vector must be index-derived from the
+//     worker's claimed shard range, the read snapshot is read-only, and
+//     captured scratch must not be retained across rounds.
+//
 // A diagnostic at a call site that has been audited and found safe is
-// suppressed by the directive comment
+// suppressed by a directive comment placed on the flagged line or the
+// line directly above it:
 //
 //	//fssga:nondet <reason>
+//	//fssga:alloc(<reason>)
 //
-// placed on the flagged line or the line directly above it. The reason is
-// free text but should say why the site cannot desynchronize a replay.
+// Each analyzer honours exactly one directive kind (//fssga:nondet by
+// default, //fssga:alloc for hotalloc), so an allocation cannot be waved
+// through by a determinism audit or vice versa. The reason is free text
+// but should say why the site cannot desynchronize a replay (nondet) or
+// why the allocation is acceptable on a hot path (alloc).
 package analysis
 
 import (
@@ -68,9 +86,23 @@ type Analyzer struct {
 	// bypasses the filter so fixtures exercise passes directly.
 	AppliesTo func(pkgPath string) bool
 
+	// Directive, if non-empty, is the suppression directive comment this
+	// analyzer honours instead of the default //fssga:nondet. Analyzers
+	// proving different contracts use distinct directives so an audit
+	// for one contract cannot silently absorb violations of another.
+	Directive string
+
 	// Run executes the pass over one type-checked unit, reporting
 	// findings through pass.Report.
 	Run func(pass *Pass) error
+}
+
+// directive returns the suppression directive the analyzer honours.
+func (a *Analyzer) directive() string {
+	if a.Directive != "" {
+		return a.Directive
+	}
+	return NondetDirective
 }
 
 // A Pass connects an Analyzer to one type-checked unit of source code.
@@ -113,23 +145,49 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
 }
 
-// NondetDirective is the allowlist comment that suppresses a finding on
-// its own line or the line below.
+// NondetDirective is the default allowlist comment: it suppresses a
+// determinism-contract finding on its own line or the line below.
 const NondetDirective = "//fssga:nondet"
 
+// AllocDirective is the hot-path allowlist comment: //fssga:alloc(reason)
+// suppresses a hotalloc finding on its own line or the line below. The
+// parenthesized reason is mandatory — an unexplained allocation waiver
+// is not a directive at all.
+const AllocDirective = "//fssga:alloc"
+
+// directiveReason parses a comment against a directive prefix. It
+// accepts the two committed forms — "//fssga:nondet <reason>" and
+// "//fssga:alloc(<reason>)" — and rejects longer identifiers sharing the
+// prefix (e.g. //fssga:nondeterministic) and parenthesized directives
+// with no closing paren or an empty reason.
+func directiveReason(text, prefix string) (reason string, ok bool) {
+	if !strings.HasPrefix(text, prefix) {
+		return "", false
+	}
+	rest := text[len(prefix):]
+	if strings.HasPrefix(rest, "(") {
+		i := strings.LastIndex(rest, ")")
+		if i < 1 {
+			return "", false
+		}
+		reason = strings.TrimSpace(rest[1:i])
+		return reason, reason != ""
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}
+
 // suppressedLines maps filename -> set of line numbers carrying the
-// directive.
-func suppressedLines(fset *token.FileSet, files []*ast.File) map[string]map[int]bool {
+// given directive.
+func suppressedLines(fset *token.FileSet, files []*ast.File, directive string) map[string]map[int]bool {
 	sup := make(map[string]map[int]bool)
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, NondetDirective) {
+				if _, ok := directiveReason(c.Text, directive); !ok {
 					continue
-				}
-				rest := c.Text[len(NondetDirective):]
-				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-					continue // e.g. //fssga:nondeterministic — not the directive
 				}
 				pos := fset.Position(c.Pos())
 				m := sup[pos.Filename]
@@ -204,30 +262,42 @@ func sortFindings(findings []Finding) {
 }
 
 // RunAnalyzers executes the analyzers over the units, honouring each
-// analyzer's AppliesTo filter and the //fssga:nondet directive, and
-// returns all surviving findings sorted by file, line, column, analyzer,
-// message.
+// analyzer's AppliesTo filter and its suppression directive
+// (//fssga:nondet by default, //fssga:alloc for hotalloc), and returns
+// all surviving findings sorted by file, line, column, analyzer, message.
 func RunAnalyzers(units []*Unit, analyzers []*Analyzer) ([]Finding, error) {
 	raw, err := rawFindings(units, analyzers)
 	if err != nil {
 		return nil, err
 	}
-	sup := make(map[string]map[int]bool)
+	// Suppression maps are per directive kind: a finding is absorbed only
+	// by the directive its analyzer honours.
+	directiveOf := make(map[string]string) // analyzer name -> directive
+	sup := make(map[string]map[string]map[int]bool)
+	for _, a := range analyzers {
+		d := a.directive()
+		directiveOf[a.Name] = d
+		if sup[d] == nil {
+			sup[d] = make(map[string]map[int]bool)
+		}
+	}
 	for _, u := range units {
-		for file, lines := range suppressedLines(u.Fset, u.Files) {
-			m := sup[file]
-			if m == nil {
-				m = make(map[int]bool)
-				sup[file] = m
-			}
-			for line := range lines {
-				m[line] = true
+		for d, byFile := range sup {
+			for file, lines := range suppressedLines(u.Fset, u.Files, d) {
+				m := byFile[file]
+				if m == nil {
+					m = make(map[int]bool)
+					byFile[file] = m
+				}
+				for line := range lines {
+					m[line] = true
+				}
 			}
 		}
 	}
 	findings := raw[:0]
 	for _, f := range raw {
-		if m := sup[f.File]; m != nil && (m[f.Line] || m[f.Line-1]) {
+		if m := sup[directiveOf[f.Analyzer]][f.File]; m != nil && (m[f.Line] || m[f.Line-1]) {
 			continue
 		}
 		findings = append(findings, f)
@@ -242,7 +312,7 @@ func RunAnalyzers(units []*Unit, analyzers []*Analyzer) ([]Finding, error) {
 func All() []*Analyzer {
 	return []*Analyzer{
 		Detrand, Maporder, Viewpure, Seedplumb, Globalwrite,
-		Symcontract, Finstate, Capinfer,
+		Symcontract, Finstate, Capinfer, Hotalloc, Shardsafe,
 	}
 }
 

@@ -24,3 +24,7 @@ func TestSymcontract(t *testing.T) { analysistest.Run(t, analysis.Symcontract, "
 func TestFinstate(t *testing.T) { analysistest.Run(t, analysis.Finstate, "finstate") }
 
 func TestCapinfer(t *testing.T) { analysistest.Run(t, analysis.Capinfer, "capinfer") }
+
+func TestHotalloc(t *testing.T) { analysistest.Run(t, analysis.Hotalloc, "hotalloc") }
+
+func TestShardsafe(t *testing.T) { analysistest.Run(t, analysis.Shardsafe, "shardsafe/fssga") }

@@ -1,11 +1,14 @@
 package analysis
 
-// audit.go inventories the //fssga:nondet suppression directives. Each
-// directive is an audited exception to the determinism contract; the
-// audit re-runs the analyzers without suppression and attributes every
-// absorbed diagnostic back to its directive, so a directive left behind
-// after the offending code was fixed (or moved off its line) shows up
-// as stale instead of silently widening the allowlist.
+// audit.go inventories the suppression directives (//fssga:nondet and
+// //fssga:alloc). Each directive is an audited exception to a contract;
+// the audit re-runs the analyzers without suppression and attributes
+// every absorbed diagnostic back to its directive, so a directive left
+// behind after the offending code was fixed (or moved off its line)
+// shows up as stale instead of silently widening the allowlist. The
+// per-analyzer counts feed the suppression ratchet
+// (scripts/suppression_ratchet.txt): totals may only grow with an
+// explicit ratchet edit.
 
 import (
 	"fmt"
@@ -13,11 +16,15 @@ import (
 	"strings"
 )
 
-// A Directive is one //fssga:nondet occurrence, with the analyzers whose
-// diagnostics it currently absorbs.
+// A Directive is one suppression-directive occurrence, with the
+// analyzers whose diagnostics it currently absorbs.
 type Directive struct {
-	File   string `json:"file"`
-	Line   int    `json:"line"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+	// Kind is the directive comment itself: //fssga:nondet or
+	// //fssga:alloc. A directive only absorbs diagnostics of analyzers
+	// honouring its kind.
+	Kind   string `json:"directive"`
 	Reason string `json:"reason"`
 	// Suppresses lists the analyzers with at least one diagnostic on the
 	// directive's line or the line below, sorted and deduplicated. Empty
@@ -37,14 +44,17 @@ func (d Directive) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", d.File, d.Line, status, d.Reason)
 }
 
-// AuditDirectives collects every //fssga:nondet directive in the units
-// and attributes to each the analyzers it suppresses, by running the
-// full analyzer set without suppression. Directives are returned sorted
-// by file and line.
+// AuditDirectives collects every suppression directive in the units and
+// attributes to each the analyzers it suppresses, by running the full
+// analyzer set without suppression. A diagnostic counts toward a
+// directive only when the analyzer honours that directive kind.
+// Directives are returned sorted by file, line and kind.
 func AuditDirectives(units []*Unit, analyzers []*Analyzer) ([]Directive, error) {
+	kinds := []string{NondetDirective, AllocDirective}
 	type key struct {
 		file string
 		line int
+		kind string
 	}
 	var order []key
 	byKey := make(map[key]*Directive)
@@ -52,25 +62,26 @@ func AuditDirectives(units []*Unit, analyzers []*Analyzer) ([]Directive, error) 
 		for _, f := range u.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					if !strings.HasPrefix(c.Text, NondetDirective) {
-						continue
+					for _, kind := range kinds {
+						reason, ok := directiveReason(c.Text, kind)
+						if !ok {
+							continue
+						}
+						pos := u.Fset.Position(c.Pos())
+						k := key{pos.Filename, pos.Line, kind}
+						if byKey[k] != nil {
+							break // same file loaded in two units (test builds)
+						}
+						byKey[k] = &Directive{
+							File:       k.file,
+							Line:       k.line,
+							Kind:       kind,
+							Reason:     reason,
+							Suppresses: []string{},
+						}
+						order = append(order, k)
+						break
 					}
-					rest := c.Text[len(NondetDirective):]
-					if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-						continue
-					}
-					pos := u.Fset.Position(c.Pos())
-					k := key{pos.Filename, pos.Line}
-					if byKey[k] != nil {
-						continue // same file loaded in two units (test builds)
-					}
-					byKey[k] = &Directive{
-						File:       k.file,
-						Line:       k.line,
-						Reason:     strings.TrimSpace(rest),
-						Suppresses: []string{},
-					}
-					order = append(order, k)
 				}
 			}
 		}
@@ -80,11 +91,15 @@ func AuditDirectives(units []*Unit, analyzers []*Analyzer) ([]Directive, error) 
 	if err != nil {
 		return nil, err
 	}
+	directiveOf := make(map[string]string)
+	for _, a := range analyzers {
+		directiveOf[a.Name] = a.directive()
+	}
 	for _, f := range raw {
 		// The driver honours a directive on the finding's line or the
 		// line above it; attribution mirrors that exactly.
 		for _, line := range []int{f.Line, f.Line - 1} {
-			if d := byKey[key{f.File, line}]; d != nil {
+			if d := byKey[key{f.File, line, directiveOf[f.Analyzer]}]; d != nil {
 				d.Suppresses = append(d.Suppresses, f.Analyzer)
 			}
 		}
@@ -101,9 +116,25 @@ func AuditDirectives(units []*Unit, analyzers []*Analyzer) ([]Directive, error) 
 		if out[i].File != out[j].File {
 			return out[i].File < out[j].File
 		}
-		return out[i].Line < out[j].Line
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Kind < out[j].Kind
 	})
 	return out, nil
+}
+
+// SuppressionCounts tallies, per analyzer name, how many live directives
+// absorb at least one of that analyzer's diagnostics. This is the
+// quantity the suppression ratchet bounds.
+func SuppressionCounts(dirs []Directive) map[string]int {
+	counts := make(map[string]int)
+	for _, d := range dirs {
+		for _, name := range d.Suppresses {
+			counts[name]++
+		}
+	}
+	return counts
 }
 
 // compactStrings removes adjacent duplicates from a sorted slice.

@@ -188,6 +188,117 @@ b7 for.post: {i++} ->b1
 	}
 }
 
+// TestBuildCFGEdgeCases pins the constructs the analyzers meet rarely
+// enough that a regression would otherwise hide until a real hot path
+// uses one: defer (a plain statement, control does not fork), labeled
+// break/continue (edges target the labeled loop's done/post block, not
+// the innermost one), goto with labels (label blocks, including a
+// backward edge forming a loop), and range-over-int (same head/body
+// shape as range over a slice).
+func TestBuildCFGEdgeCases(t *testing.T) {
+	cases := []struct {
+		name, fn, want string
+	}{
+		{
+			name: "defer_is_straightline",
+			fn: `func f() int {
+	x := 0
+	defer done()
+	if x > 0 {
+		defer undo()
+	}
+	return x
+}`,
+			want: `b0 entry: {x := 0} {defer done()} {x > 0} T->b1 F->b2
+b1 if.then: {defer undo()} ->b2
+b2 if.done: {return x} ->b3
+b3 exit:
+`,
+		},
+		{
+			name: "labeled_break_continue",
+			fn: `func f(m [][]int) int {
+L:
+	for i := 0; i < len(m); i++ {
+		for j := 0; j < len(m[i]); j++ {
+			if m[i][j] < 0 {
+				continue L
+			}
+			if m[i][j] == 9 {
+				break L
+			}
+		}
+	}
+	return 0
+}`,
+			// continue L jumps to the OUTER post (b10 {i++}), break L to
+			// the OUTER done (b8), both crossing the inner loop entirely.
+			want: `b0 entry: ->b1
+b1 label.L: {i := 0} ->b2
+b2 for.head: {i < len(m)} T->b3 F->b8
+b3 for.body: {j := 0} ->b4
+b4 for.head: {j < len(m[i])} T->b5 F->b10
+b5 for.body: {m[i][j] < 0} F->b6 T->b10
+b6 if.done: {m[i][j] == 9} F->b7 T->b8
+b7 for.post: {j++} ->b4
+b8 for.done: {return 0} ->b9
+b9 exit:
+b10 for.post: {i++} ->b2
+`,
+		},
+		{
+			name: "goto_backward_loop",
+			fn: `func f(n int) int {
+	i := 0
+loop:
+	if i < n {
+		i++
+		goto loop
+	}
+	goto done
+done:
+	return i
+}`,
+			// The backward goto makes b1 a loop head; the forward goto
+			// collapses into the fallthrough edge to label.done.
+			want: `b0 entry: {i := 0} ->b1
+b1 label.loop: {i < n} F->b2 T->b4
+b2 label.done: {return i} ->b3
+b3 exit:
+b4 if.then: {i++} ->b1
+`,
+		},
+		{
+			name: "range_over_int",
+			fn: `func f(n int) int {
+	s := 0
+	for i := range n {
+		s += i
+	}
+	return s
+}`,
+			want: `b0 entry: {s := 0} ->b1
+b1 range.head: {for i := range n { s += i }} F->b2 C->b4
+b2 range.done: {return s} ->b3
+b3 exit:
+b4 range.body: {s += i} ->b1
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			body, fset := parseBody(t, tc.fn)
+			c := analysis.BuildCFG(body)
+			if err := c.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if got := c.String(fset); got != tc.want {
+				t.Errorf("CFG mismatch:\n--- got ---\n%s--- want ---\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
 // TestBuildCFGConditionEdges verifies every conditional edge carries
 // its controlling leaf condition, so Refine always has something to
 // refine on.

@@ -1,0 +1,175 @@
+// Package hotalloc exercises the hotalloc analyzer: every allocation
+// class it flags inside //fssga:hotpath functions, the //fssga:alloc
+// audited-suppression path, and the shapes it must prove clean.
+package hotalloc
+
+import "fmt"
+
+type point struct{ x int }
+
+// ---- flagged allocation classes ----
+
+//fssga:hotpath
+func boxesViaSprintf(id int) string {
+	return fmt.Sprintf("node-%d", id) // want `call to fmt\.Sprintf crosses the unit boundary and is not allocation-whitelisted`
+}
+
+//fssga:hotpath
+func appends(dst []int, v int) []int {
+	return append(dst, v) // want `append may grow its backing array`
+}
+
+//fssga:hotpath
+func literals() int {
+	xs := []int{1, 2, 3} // want `slice literal allocates its backing array`
+	m := map[int]int{}   // want `map literal allocates`
+	p := &point{}        // want `address of composite literal may escape to the heap`
+	q := new(point)      // want `new allocates`
+	ys := make([]int, 1) // want `make allocates`
+	return xs[0] + m[0] + p.x + q.x + len(ys)
+}
+
+//fssga:hotpath
+func converts(s string, bs []byte, n int) {
+	_ = string(bs) // want `slice-to-string conversion copies and allocates`
+	_ = []byte(s)  // want `string-to-slice conversion copies and allocates`
+	_ = string(n)  // want `integer-to-string conversion allocates`
+	u := s + s     // want `string concatenation allocates`
+	var i any
+	i = n // want `assignment boxes a concrete int into an interface`
+	_, _ = u, i
+}
+
+//fssga:hotpath
+func boxReturn(n int) any {
+	return n // want `return boxes a concrete int into an interface`
+}
+
+func sink(v any) int { return 0 }
+
+//fssga:hotpath
+func boxesArg(n int) {
+	sink(n) // want `argument boxes a concrete int into an interface`
+}
+
+//fssga:hotpath
+func spawns() {
+	go func() {}() // want `go statement on a hot path allocates a goroutine`
+}
+
+func release(int) {}
+
+//fssga:hotpath
+func defersInLoop(n int) {
+	for i := 0; i < n; i++ {
+		defer release(i) // want `defer inside a loop heap-allocates its frame`
+	}
+}
+
+//fssga:hotpath
+func closureEscapes() func() int {
+	total := 0
+	f := func() int { // want `closure captures total and may escape`
+		total++
+		return total
+	}
+	return f
+}
+
+func helperAllocates() []int {
+	return make([]int, 8)
+}
+
+//fssga:hotpath
+func callsAllocatingHelper() int {
+	xs := helperAllocates() // want `call to helperAllocates may allocate \(unmarked function with allocating summary\)`
+	return len(xs)
+}
+
+var steppers []func(int) int
+
+//fssga:hotpath
+func dynamicCall(v int) int {
+	return steppers[0](v) // want `dynamic call through a function value may allocate`
+}
+
+type stepper interface{ step(int) int }
+
+//fssga:hotpath
+func dispatches(s stepper, v int) int {
+	return s.step(v) // want `dynamic call step may allocate \(interface dispatch\)`
+}
+
+// ---- audited suppression ----
+
+//fssga:hotpath
+func auditedAppend(dst []int, v int) []int {
+	//fssga:alloc(caller pre-sizes dst to final capacity)
+	return append(dst, v)
+}
+
+//fssga:hotpath
+func auditNeedsReason(dst []int, v int) []int {
+	//fssga:alloc()
+	return append(dst, v) // want `append may grow its backing array`
+}
+
+//fssga:hotpath
+func wrongDirectiveKind(dst []int, v int) []int {
+	//fssga:nondet a determinism audit must not wave allocations through
+	return append(dst, v) // want `append may grow its backing array`
+}
+
+// ---- shapes that must be proven clean ----
+
+//fssga:hotpath
+func hotCallee(v int) int { return v + 1 }
+
+//fssga:hotpath
+func callsHot(v int) int { return hotCallee(v) }
+
+func cleanHelper(v int) int { return v * 2 }
+
+//fssga:hotpath
+func callsCleanHelper(v int) int { return cleanHelper(v) }
+
+//fssga:hotpath
+func guardedPanic(v int) int {
+	if v < 0 {
+		panic(fmt.Sprintf("negative %d", v))
+	}
+	return v
+}
+
+//fssga:hotpath
+func closureCalled(xs []int) int {
+	total := 0
+	add := func(v int) { total += v }
+	for _, v := range xs {
+		add(v)
+	}
+	return total
+}
+
+//fssga:hotpath
+func iife(v int) int {
+	return func() int { return v + 1 }()
+}
+
+//fssga:hotpath
+func defersOnce() {
+	defer release(0)
+}
+
+//fssga:hotpath
+var markedLiteral = func(n int) int {
+	return n + 1
+}
+
+//fssga:hotpath
+func constantString(bs []byte) {
+	const k = 65
+	_ = string(rune(k)) // constant conversion, no runtime allocation
+	_ = "a" + "b"       // constant folding, no runtime allocation
+	_ = len(bs)
+}

@@ -1,0 +1,94 @@
+// Package fssga is a stand-in for the engine's shard pool, shaped so
+// the shardsafe fixtures can build worker round bodies — function
+// literals of the form func(pool *shardPool, worker int) — with every
+// ownership violation the analyzer must catch and the clean idioms it
+// must accept.
+package fssga
+
+const shardSpan = 64
+
+type shardPool struct{ claimed int }
+
+// claim stands in for the atomic cursor: its results are the only
+// shard-derived values.
+func (p *shardPool) claim() int {
+	p.claimed++
+	return p.claimed - 1
+}
+
+type scratch struct{ dense []int }
+
+type network struct {
+	states  []int
+	next    []int
+	workers []scratch
+	epoch   int
+}
+
+var roundCounter int
+
+func runSupervised(workers int, body func(pool *shardPool, worker int)) {
+	p := &shardPool{}
+	for w := 0; w < workers; w++ {
+		body(p, w)
+	}
+}
+
+// goodRound is the engine's real write discipline: claim a shard off the
+// pool, clamp it, copy the claimed slice of the snapshot forward, store
+// into next only at claimed indices, and stage per-worker work in a
+// structure reached through the worker index.
+func (net *network) goodRound(workers int) {
+	snapshot, next := net.states, net.next
+	runSupervised(workers, func(pool *shardPool, w int) {
+		sc := net.workers[w]
+		for {
+			s := pool.claim()
+			lo := s * shardSpan
+			if lo >= len(snapshot) {
+				return
+			}
+			hi := lo + shardSpan
+			if hi > len(snapshot) {
+				hi = len(snapshot)
+			}
+			copy(next[lo:hi], snapshot[lo:hi])
+			for v := lo; v < hi; v++ {
+				sc.dense[0] = v
+				next[v] = snapshot[v] + 1
+			}
+		}
+	})
+}
+
+// badRound collects the violations: unclaimed-index stores, snapshot
+// writes, retained scratch, global writes, and unbounded copies.
+func (net *network) badRound(workers int) {
+	snapshot, next := net.states, net.next
+	var keep []int
+	runSupervised(workers, func(pool *shardPool, w int) {
+		s := pool.claim()
+		lo := s * shardSpan
+		next[0] = snapshot[0] // want `store into captured "next" at an index not derived from the worker's claimed shard range`
+		snapshot[lo] = 7      // want `write to the read-side snapshot "snapshot" inside a worker round body`
+		net.states[lo] = 9    // want `write to the read-side snapshot "net" inside a worker round body`
+		keep = next[lo:]      // want `captured "keep" is reassigned inside a worker round body`
+		roundCounter++        // want `write to package-level variable "roundCounter" inside a worker round body`
+		copy(next, snapshot)  // want `copy into captured "next" without shard-derived bounds`
+		net.epoch = s         // want `write to field of captured "net" inside a worker round body`
+	})
+	_ = keep
+}
+
+// curRound pins the cur spelling of the read side and a store indexed by
+// a plain loop variable never derived from the claim.
+func (net *network) curRound(workers int) {
+	cur, next := net.states, net.next
+	runSupervised(workers, func(pool *shardPool, w int) {
+		_ = pool.claim()
+		cur[0] = 1 // want `write to the read-side snapshot "cur" inside a worker round body`
+		for v := 0; v < len(cur); v++ {
+			next[v] = cur[v] // want `store into captured "next" at an index not derived from the worker's claimed shard range`
+		}
+	})
+}

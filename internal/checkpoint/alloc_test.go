@@ -1,0 +1,34 @@
+package checkpoint
+
+import "testing"
+
+// TestDiffRunsNoChurnZeroAllocs is the dynamic half of the hotalloc
+// cross-check for diffRuns (the static half — verdict "audited" — is
+// asserted by internal/fssga's hotpath harness): the //fssga:alloc
+// audits on its appends claim the only allocation is the delta payload
+// itself, proportional to churn, so with zero churn the scan must
+// allocate nothing at all.
+func TestDiffRunsNoChurnZeroAllocs(t *testing.T) {
+	base := make([]int, 4*deltaChunk)
+	cur := make([]int, 4*deltaChunk)
+	if allocs := testing.AllocsPerRun(20, func() { diffRuns(base, cur) }); allocs != 0 {
+		t.Fatalf("diffRuns allocates %.1f objects/op on identical inputs, want 0 (payload appends should be the only allocation)", allocs)
+	}
+}
+
+// TestDiffRunsChurnProportional pins the audited claim from the other
+// side: with churn, diffRuns allocates only the run payloads — one
+// backing array per dirty region (plus growth), never per chunk scanned.
+func TestDiffRunsChurnProportional(t *testing.T) {
+	base := make([]int, 64*deltaChunk)
+	cur := make([]int, 64*deltaChunk)
+	cur[5*deltaChunk] = 1  // one dirty chunk
+	cur[40*deltaChunk] = 1 // a second, non-adjacent dirty region
+	allocs := testing.AllocsPerRun(20, func() { diffRuns(base, cur) })
+	// 2 runs: the runs slice (with growth ≤ 2 reallocs) + 2 payload
+	// arrays. Anything near the 64-chunk scan count means the scan loop
+	// itself allocates.
+	if allocs > 8 {
+		t.Fatalf("diffRuns allocates %.1f objects/op for 2 dirty regions, want O(regions) not O(chunks)", allocs)
+	}
+}

@@ -79,7 +79,12 @@ func (m *Manager[S]) capture(full bool) error {
 }
 
 // diffRuns returns the changed 64-node chunks of cur relative to base,
-// coalescing adjacent dirty chunks into single runs.
+// coalescing adjacent dirty chunks into single runs. The run slices ARE
+// the delta payload handed to Encode, so their allocation is the cost of
+// the checkpoint itself, proportional to churn — the audits below record
+// that the scan loop around them stays allocation-free.
+//
+//fssga:hotpath
 func diffRuns[S comparable](base, cur []S) []Run[S] {
 	var runs []Run[S]
 	n := len(cur)
@@ -98,8 +103,10 @@ func diffRuns[S comparable](base, cur []S) []Run[S] {
 		if dirty {
 			if len(runs) > 0 && runs[len(runs)-1].Lo+len(runs[len(runs)-1].States) == lo {
 				last := &runs[len(runs)-1]
+				//fssga:alloc(the extended run is the delta payload; its growth is the checkpoint's churn cost)
 				last.States = append(last.States, cur[lo:hi]...)
 			} else {
+				//fssga:alloc(each run is the delta payload; one backing array per dirty region is the checkpoint's churn cost)
 				runs = append(runs, Run[S]{Lo: lo, States: append([]S(nil), cur[lo:hi]...)})
 			}
 		}

@@ -250,6 +250,8 @@ func (net *Network[S]) SetAggDegreeCutoff(cutoff int) {
 }
 
 // aggActive reports whether any node currently runs on an aggregate tree.
+//
+//fssga:hotpath
 func (net *Network[S]) aggActive() bool {
 	return net.agg != nil && net.agg.hubOf != nil
 }
@@ -364,12 +366,15 @@ func (net *Network[S]) invalidateAgg() {
 // Must not run between a round's view builds and its commit decision:
 // a rescan triggered by this round's marks must read the *post-commit*
 // states, so marks are applied only at commit time.
+//
+//fssga:hotpath
 func (a *aggState[S]) noteChanged(v int32) {
 	for j := a.refOff[v]; j < a.refOff[v+1]; j++ {
 		tr := a.hubs[a.refHub[j]]
 		leaf := a.refLeaf[j]
 		if !tr.dirty[leaf] {
 			tr.dirty[leaf] = true
+			//fssga:alloc(dirtyList grows to the tree's leaf count once, then is reused at capacity)
 			tr.dirtyList = append(tr.dirtyList, leaf)
 		}
 	}
@@ -381,6 +386,8 @@ func (a *aggState[S]) noteChanged(v int32) {
 // only active shards (inactive shards were memcpy'd, so they cannot
 // differ); the serial frontier round skips the diff entirely and records
 // changes precisely as it finds them.
+//
+//fssga:hotpath
 func (net *Network[S]) aggNoteDiff(lo, hi int) {
 	if !net.aggActive() {
 		return
@@ -397,6 +404,8 @@ func (net *Network[S]) aggNoteDiff(lo, hi int) {
 // hub, through the linear buildView scan otherwise. This is the single
 // seam every engine (serial, sharded-parallel, frontier, activation,
 // quiescence probe) goes through, which is what keeps them bit-identical.
+//
+//fssga:hotpath
 func (net *Network[S]) viewFor(sc *viewScratch[S], v int, nbrs []int32, snapshot []S) *View[S] {
 	if a := net.agg; a != nil && a.hubOf != nil {
 		if h := a.hubOf[v]; h >= 0 {
@@ -412,6 +421,8 @@ func (net *Network[S]) viewFor(sc *viewScratch[S], v int, nbrs []int32, snapshot
 // supervised retry resynchronizes idempotently (the snapshot is unchanged
 // until commit, and dirty flags are cleared only after ancestors are
 // recomputed). The returned view aliases the scratch, like buildView.
+//
+//fssga:hotpath
 func (net *Network[S]) hubView(sc *viewScratch[S], h int32, snapshot []S) *View[S] {
 	a := net.agg
 	tr := a.hubs[h]
@@ -437,7 +448,9 @@ func (net *Network[S]) hubView(sc *viewScratch[S], h int32, snapshot []S) *View[
 			continue
 		}
 		sc.dense[i] = int32(cnt)
+		//fssga:alloc(present grows to the distinct-state count once, then is reused at capacity)
 		sc.present = append(sc.present, tr.stateOf[i])
+		//fssga:alloc(presIdx grows to the distinct-state count once, then is reused at capacity)
 		sc.presIdx = append(sc.presIdx, int32(i))
 		total += int(cnt)
 	}
@@ -455,6 +468,8 @@ func (net *Network[S]) hubView(sc *viewScratch[S], h int32, snapshot []S) *View[
 }
 
 // rebuildTree rescans every leaf and recomputes all internal nodes.
+//
+//fssga:hotpath
 func (a *aggState[S]) rebuildTree(net *Network[S], tr *hubTree[S], snapshot []S) {
 	for leaf := 0; leaf < tr.leaves; leaf++ {
 		a.scanLeaf(net, tr, leaf, snapshot)
@@ -473,6 +488,8 @@ func (a *aggState[S]) rebuildTree(net *Network[S], tr *hubTree[S], snapshot []S)
 // syncTree rescans only the dirty leaves and recomputes their root paths:
 // O(dirty · (leafSpan + log leaves)) — the incremental path. Flags are
 // cleared last so an interrupted sync replays in full.
+//
+//fssga:hotpath
 func (a *aggState[S]) syncTree(net *Network[S], tr *hubTree[S], snapshot []S) {
 	for _, leaf := range tr.dirtyList {
 		a.scanLeaf(net, tr, int(leaf), snapshot)
@@ -489,6 +506,8 @@ func (a *aggState[S]) syncTree(net *Network[S], tr *hubTree[S], snapshot []S) {
 }
 
 // scanLeaf recomputes one leaf's saturated count vector from the snapshot.
+//
+//fssga:hotpath
 func (a *aggState[S]) scanLeaf(net *Network[S], tr *hubTree[S], leaf int, snapshot []S) {
 	k, tab := a.k, a.table
 	lo := leaf * aggLeafSpan
@@ -500,6 +519,7 @@ func (a *aggState[S]) scanLeaf(net *Network[S], tr *hubTree[S], leaf int, snapsh
 	clear(vec)
 	for _, u := range tr.nbrs[lo:hi] {
 		s := snapshot[u]
+		//fssga:alloc(StateIndex is a table lookup by the DenseAutomaton contract; dispatch through the stored func value)
 		i := net.idx(s)
 		if i < 0 || i >= k {
 			panic(fmt.Sprintf("fssga: StateIndex returned %d for an observed state, want 0..%d", i, k-1))
@@ -511,6 +531,8 @@ func (a *aggState[S]) scanLeaf(net *Network[S], tr *hubTree[S], leaf int, snapsh
 }
 
 // combine recomputes internal node p from its children.
+//
+//fssga:hotpath
 func (a *aggState[S]) combine(tr *hubTree[S], p int) {
 	k, tab := a.k, a.table
 	dst := tr.vec[p*k : (p+1)*k]

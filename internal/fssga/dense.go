@@ -74,6 +74,8 @@ func (net *Network[S]) newScratch() *viewScratch[S] {
 // View aliases the scratch buffers: it is valid only until the next
 // buildView on the same scratch, which is exactly the duration of one
 // Step call.
+//
+//fssga:hotpath
 func (net *Network[S]) buildView(sc *viewScratch[S], nbrs []int32, snapshot []S) *View[S] {
 	return buildViewOver(net, sc, nbrs, snapshot)
 }
@@ -82,6 +84,8 @@ func (net *Network[S]) buildView(sc *viewScratch[S], nbrs []int32, snapshot []S)
 // over the neighbour index width so the engine's CSR []int32 rows and the
 // legacy []int adjacency of hoist_bench_test.go share one implementation
 // (the benchmark cannot drift from the real path).
+//
+//fssga:hotpath
 func buildViewOver[S comparable, N int | int32](net *Network[S], sc *viewScratch[S], nbrs []N, snapshot []S) *View[S] {
 	if sc.dense != nil {
 		for _, i := range sc.presIdx {
@@ -91,13 +95,16 @@ func buildViewOver[S comparable, N int | int32](net *Network[S], sc *viewScratch
 		sc.presIdx = sc.presIdx[:0]
 		for _, u := range nbrs {
 			s := snapshot[u]
+			//fssga:alloc(StateIndex is a table lookup by the DenseAutomaton contract; dispatch through the stored func value)
 			i := net.idx(s)
 			if i < 0 || i >= len(sc.dense) {
 				panic(fmt.Sprintf("fssga: StateIndex returned %d for an observed state, want 0..%d",
 					i, len(sc.dense)-1))
 			}
 			if sc.dense[i] == 0 {
+				//fssga:alloc(present grows to the distinct-state count once, then is reused at capacity)
 				sc.present = append(sc.present, s)
+				//fssga:alloc(presIdx grows to the distinct-state count once, then is reused at capacity)
 				sc.presIdx = append(sc.presIdx, int32(i))
 			}
 			sc.dense[i]++
@@ -122,8 +129,11 @@ func buildViewOver[S comparable, N int | int32](net *Network[S], sc *viewScratch
 // serialScratch returns the shared workspace of the serial execution
 // paths (SyncRound, Activate, Quiescent, frontier rounds), creating it on
 // first use.
+//
+//fssga:hotpath
 func (net *Network[S]) serialScratch() *viewScratch[S] {
 	if net.serial == nil {
+		//fssga:alloc(one-time lazy construction of the shared serial workspace)
 		net.serial = net.newScratch()
 	}
 	return net.serial

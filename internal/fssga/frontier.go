@@ -43,6 +43,8 @@ type frontChange[S comparable] struct {
 //
 // Deterministic automata only: a Step that consults its random stream
 // desynchronizes the per-node streams when quiesced nodes are skipped.
+//
+//fssga:hotpath
 func (net *Network[S]) SyncRoundFrontier() (changed bool) {
 	// The pre-round hook fires before the staleness check below, so any
 	// topology shrink it performs yields a fresh CSR snapshot and forces
@@ -50,10 +52,13 @@ func (net *Network[S]) SyncRoundFrontier() (changed bool) {
 	// again with the same round number next call.
 	net.beforeRound()
 	c := net.topo()
+	//fssga:alloc(ensureAgg builds the aggregation tree once per topology snapshot, amortized over all rounds)
 	net.ensureAgg(c)
 	n := c.Cap()
 	if len(net.front) != n {
+		//fssga:alloc(dirty-flag arrays are rebuilt once per topology size change, amortized over all rounds)
 		net.front = make([]bool, n)
+		//fssga:alloc(dirty-flag arrays are rebuilt once per topology size change, amortized over all rounds)
 		net.frontNext = make([]bool, n)
 		net.frontList = net.frontList[:0]
 		net.frontNextList = net.frontNextList[:0]
@@ -77,6 +82,7 @@ func (net *Network[S]) SyncRoundFrontier() (changed bool) {
 	mark := func(u int32) {
 		if !net.frontNext[u] {
 			net.frontNext[u] = true
+			//fssga:alloc(frontNextList grows to the frontier size once, then is reused at capacity across rounds)
 			net.frontNextList = append(net.frontNextList, u)
 		}
 	}
@@ -86,8 +92,10 @@ func (net *Network[S]) SyncRoundFrontier() (changed bool) {
 			return
 		}
 		view := net.viewFor(sc, v, nbrs, net.states)
+		//fssga:alloc(Step is automaton-interface dispatch; each automaton's Step is vetted separately)
 		s := net.auto.Step(net.states[v], view, net.rngs[v])
 		if s != net.states[v] {
+			//fssga:alloc(the change buffer grows to the per-round change count once, then is reused at capacity)
 			changes = append(changes, frontChange[S]{v: int32(v), s: s})
 			// The change is visible to v itself and its neighbours next
 			// round.
@@ -96,6 +104,7 @@ func (net *Network[S]) SyncRoundFrontier() (changed bool) {
 				mark(u)
 			}
 			if aggOn {
+				//fssga:alloc(the agg change list grows to the per-round change count once, then is reused at capacity)
 				aggChanged = append(aggChanged, int32(v))
 			}
 		}
@@ -135,6 +144,7 @@ func (net *Network[S]) SyncRoundFrontier() (changed bool) {
 	net.Rounds++
 	net.shardFront.ok = false // shard-granular bookkeeping is now stale
 	if net.OnRound != nil {
+		//fssga:alloc(user hook runs outside the zero-alloc contract; nil in steady-state runs)
 		net.OnRound(net.Rounds)
 	}
 	return true

@@ -47,6 +47,7 @@ type Network[S comparable] struct {
 
 	serial  *viewScratch[S]   // shared by all serial execution paths
 	workers []*viewScratch[S] // one per worker of the shard pool
+	probe   *rand.Rand        // Quiescent's reusable throwaway stream
 
 	// Persistent shard pool for parallel rounds (see shard.go). poolMu
 	// guards creating/replacing/closing the pool so rounds racing Close
@@ -164,8 +165,11 @@ func newNetwork[S comparable](g *graph.Graph, c *graph.CSR, auto Automaton[S], i
 // NewFromCSR networks, or a lazily (re)built snapshot of the mutable
 // graph — pointer-stable while the graph is unmutated, fresh after any
 // fault, so each round observes exactly the topology at its start.
+//
+//fssga:hotpath
 func (net *Network[S]) topo() *graph.CSR {
 	if net.G != nil {
+		//fssga:alloc(CSR is pointer-stable while the graph is unmutated; a rebuild is paid once per fault)
 		return net.G.CSR()
 	}
 	return net.csr
@@ -278,6 +282,8 @@ func (net *Network[S]) invalidateFrontiers() {
 
 // Activate performs one asynchronous activation of node v (no-op for dead
 // or isolated nodes, since SM functions are defined on Q^+ only).
+//
+//fssga:hotpath
 func (net *Network[S]) Activate(v int) {
 	c := net.topo()
 	if v < 0 || v >= c.Cap() {
@@ -287,9 +293,11 @@ func (net *Network[S]) Activate(v int) {
 	if len(nbrs) == 0 {
 		return
 	}
+	//fssga:alloc(ensureAgg builds the aggregation tree once per topology snapshot, amortized over all rounds)
 	net.ensureAgg(c)
 	old := net.states[v]
 	view := net.viewFor(net.serialScratch(), v, nbrs, net.states)
+	//fssga:alloc(Step is automaton-interface dispatch; each automaton's Step is vetted separately)
 	net.states[v] = net.auto.Step(old, view, net.rngs[v])
 	if net.aggActive() && net.states[v] != old {
 		net.agg.noteChanged(int32(v))
@@ -305,9 +313,12 @@ func (net *Network[S]) Activate(v int) {
 // Dead and isolated nodes are recognized by an empty CSR neighbour row
 // (dead nodes are isolated by the graph invariant), so the hot loop
 // carries no per-node Alive/Degree calls at all.
+//
+//fssga:hotpath
 func (net *Network[S]) SyncRound() {
 	net.beforeRound()
 	c := net.topo()
+	//fssga:alloc(ensureAgg builds the aggregation tree once per topology snapshot, amortized over all rounds)
 	net.ensureAgg(c)
 	sc := net.serialScratch()
 	for v := 0; v < c.Cap(); v++ {
@@ -317,6 +328,7 @@ func (net *Network[S]) SyncRound() {
 			continue
 		}
 		view := net.viewFor(sc, v, nbrs, net.states)
+		//fssga:alloc(Step is automaton-interface dispatch; each automaton's Step is vetted separately)
 		net.next[v] = net.auto.Step(net.states[v], view, net.rngs[v])
 	}
 	net.commitRound()
@@ -326,8 +338,11 @@ func (net *Network[S]) SyncRound() {
 // Every synchronous-round entry point calls it exactly once, before the
 // state snapshot is read, so hook-driven topology mutations behave like
 // pre-round fault injection.
+//
+//fssga:hotpath
 func (net *Network[S]) beforeRound() {
 	if net.OnBeforeRound != nil {
+		//fssga:alloc(user hook runs outside the zero-alloc contract; nil in steady-state runs)
 		net.OnBeforeRound(net.Rounds + 1)
 	}
 }
@@ -335,12 +350,15 @@ func (net *Network[S]) beforeRound() {
 // commitRound publishes next as the new state vector and fires the round
 // hooks. Full rounds do not maintain frontier bookkeeping, so any frontier
 // state becomes stale.
+//
+//fssga:hotpath
 func (net *Network[S]) commitRound() {
 	net.aggNoteDiff(0, len(net.states)) // before the swap: states=old, next=new
 	net.states, net.next = net.next, net.states
 	net.Rounds++
 	net.invalidateFrontiers()
 	if net.OnRound != nil {
+		//fssga:alloc(user hook runs outside the zero-alloc contract; nil in steady-state runs)
 		net.OnRound(net.Rounds)
 	}
 }
@@ -374,18 +392,28 @@ func (net *Network[S]) RunSyncParallel(maxRounds, workers int, done func(net *Ne
 // evaluates successor states against one throwaway random stream (which a
 // deterministic automaton must not consult) so the real per-node streams
 // are not consumed.
+//
+//fssga:hotpath
 func (net *Network[S]) Quiescent() bool {
 	c := net.topo()
+	//fssga:alloc(ensureAgg builds the aggregation tree once per topology snapshot, amortized over all rounds)
 	net.ensureAgg(c)
 	sc := net.serialScratch()
-	probe := rand.New(rand.NewSource(1))
+	if net.probe == nil {
+		//fssga:alloc(one-time lazy construction of the reusable probe stream; reseeded in place afterwards)
+		net.probe = rand.New(rand.NewSource(1))
+	} else {
+		//fssga:alloc(Seed delegates to the source in place; rand.Rand is outside the allocation whitelist)
+		net.probe.Seed(1)
+	}
 	for v := 0; v < c.Cap(); v++ {
 		nbrs := c.Neighbors(v)
 		if len(nbrs) == 0 {
 			continue
 		}
 		view := net.viewFor(sc, v, nbrs, net.states)
-		if net.auto.Step(net.states[v], view, probe) != net.states[v] {
+		//fssga:alloc(Step is automaton-interface dispatch; each automaton's Step is vetted separately)
+		if net.auto.Step(net.states[v], view, net.probe) != net.states[v] {
 			return false
 		}
 	}

@@ -238,6 +238,7 @@ func (net *Network[S]) TrySyncRoundParallel(workers int) error {
 	span := shardSpan(n, workers)
 	shards := (n + span - 1) / span
 	snapshot, next := net.states, net.next
+	//fssga:hotpath
 	err := net.runSupervised(workers, func(pool *shardPool, w int) {
 		sc := net.workers[w]
 		for {
@@ -257,6 +258,7 @@ func (net *Network[S]) TrySyncRoundParallel(workers int) error {
 					continue
 				}
 				view := net.viewFor(sc, v, nbrs, snapshot)
+				//fssga:alloc(Step is automaton-interface dispatch; each automaton's Step is vetted separately)
 				next[v] = net.auto.Step(snapshot[v], view, net.rngs[v])
 			}
 		}
@@ -399,6 +401,7 @@ func (net *Network[S]) TrySyncRoundParallelFrontier(workers int) (changed bool, 
 	// f.active is computed above and only read by attempts; f.dirty and
 	// next are fully rewritten by every attempt, so a discarded attempt
 	// leaves nothing behind.
+	//fssga:hotpath
 	err = net.runSupervised(workers, func(pool *shardPool, w int) {
 		sc := net.workers[w]
 		for {
@@ -424,6 +427,7 @@ func (net *Network[S]) TrySyncRoundParallelFrontier(workers int) (changed bool, 
 					continue
 				}
 				view := net.viewFor(sc, v, nbrs, snapshot)
+				//fssga:alloc(Step is automaton-interface dispatch; each automaton's Step is vetted separately)
 				s2 := net.auto.Step(snapshot[v], view, net.rngs[v])
 				next[v] = s2
 				if s2 != snapshot[v] {

@@ -75,10 +75,14 @@ func NewViewFromCounts[S comparable](counts map[S]int) *View[S] {
 // assumes a connected graph with more than one node, but faults can
 // isolate a node mid-run; the engine freezes isolated nodes and algorithms
 // may consult Empty defensively.
+//
+//fssga:hotpath
 func (v *View[S]) Empty() bool { return v.total == 0 }
 
 // DegreeCapped returns min(degree, cap) — the thresh observation of the
 // total neighbour count. cap must be positive.
+//
+//fssga:hotpath
 func (v *View[S]) DegreeCapped(cap int) int {
 	if cap < 1 {
 		panic("fssga: DegreeCapped needs cap >= 1")
@@ -90,8 +94,11 @@ func (v *View[S]) DegreeCapped(cap int) int {
 }
 
 // count returns the raw multiplicity μ_q of the exact state q.
+//
+//fssga:hotpath
 func (v *View[S]) count(q S) int {
 	if v.idx != nil {
+		//fssga:alloc(StateIndex is a table lookup by the DenseAutomaton contract; dispatch through the stored func value)
 		i := v.idx(q)
 		if i < 0 || i >= len(v.dense) {
 			// A state outside the automaton's declared index range cannot
@@ -104,6 +111,8 @@ func (v *View[S]) count(q S) int {
 }
 
 // CountState returns min(μ_q, cap) for the exact state q.
+//
+//fssga:hotpath
 func (v *View[S]) CountState(q S, cap int) int {
 	if cap < 1 {
 		panic("fssga: CountState needs cap >= 1")
@@ -118,6 +127,8 @@ func (v *View[S]) CountState(q S, cap int) int {
 // Count returns min(Σ_{q: pred(q)} μ_q, cap): the capped count of
 // neighbours whose state satisfies pred. pred partitions the finite state
 // set, so this is a thresh-expressible observation.
+//
+//fssga:hotpath
 func (v *View[S]) Count(cap int, pred func(S) bool) int {
 	if cap < 1 {
 		panic("fssga: Count needs cap >= 1")
@@ -125,6 +136,7 @@ func (v *View[S]) Count(cap int, pred func(S) bool) int {
 	c := 0
 	if v.idx != nil {
 		for k, s := range v.present {
+			//fssga:alloc(pred is the caller's predicate; viewpure holds step programs to allocation-free observation)
 			if pred(s) {
 				c += int(v.dense[v.presIdx[k]])
 				if c >= cap {
@@ -135,6 +147,7 @@ func (v *View[S]) Count(cap int, pred func(S) bool) int {
 		return c
 	}
 	for s, n := range v.counts {
+		//fssga:alloc(pred is the caller's predicate; viewpure holds step programs to allocation-free observation)
 		if pred(s) {
 			c += n
 			if c >= cap {
@@ -146,6 +159,8 @@ func (v *View[S]) Count(cap int, pred func(S) bool) int {
 }
 
 // CountMod returns (Σ_{q: pred(q)} μ_q) mod m — the mod observation.
+//
+//fssga:hotpath
 func (v *View[S]) CountMod(m int, pred func(S) bool) int {
 	if m < 1 {
 		panic("fssga: CountMod needs modulus >= 1")
@@ -153,6 +168,7 @@ func (v *View[S]) CountMod(m int, pred func(S) bool) int {
 	c := 0
 	if v.idx != nil {
 		for k, s := range v.present {
+			//fssga:alloc(pred is the caller's predicate; viewpure holds step programs to allocation-free observation)
 			if pred(s) {
 				c = (c + int(v.dense[v.presIdx[k]])) % m
 			}
@@ -160,6 +176,7 @@ func (v *View[S]) CountMod(m int, pred func(S) bool) int {
 		return c
 	}
 	for s, n := range v.counts {
+		//fssga:alloc(pred is the caller's predicate; viewpure holds step programs to allocation-free observation)
 		if pred(s) {
 			c = (c + n) % m
 		}
@@ -168,22 +185,33 @@ func (v *View[S]) CountMod(m int, pred func(S) bool) int {
 }
 
 // Any reports whether at least one neighbour satisfies pred.
+//
+//fssga:hotpath
 func (v *View[S]) Any(pred func(S) bool) bool { return v.Count(1, pred) == 1 }
 
 // AnyState reports whether at least one neighbour is exactly in state q.
+//
+//fssga:hotpath
 func (v *View[S]) AnyState(q S) bool { return v.count(q) > 0 }
 
 // None reports whether no neighbour satisfies pred.
+//
+//fssga:hotpath
 func (v *View[S]) None(pred func(S) bool) bool { return !v.Any(pred) }
 
 // All reports whether every neighbour satisfies pred (vacuously true for
 // an isolated node).
+//
+//fssga:hotpath
 func (v *View[S]) All(pred func(S) bool) bool {
+	//fssga:alloc(the negation closure escapes into None; it captures only pred and is gone when All returns)
 	return v.None(func(s S) bool { return !pred(s) })
 }
 
 // Exactly reports whether precisely k neighbours satisfy pred (k is a
 // program constant, so this stays thresh-expressible via Equation (4)).
+//
+//fssga:hotpath
 func (v *View[S]) Exactly(k int, pred func(S) bool) bool {
 	return v.Count(k+1, pred) == k
 }
@@ -192,14 +220,18 @@ func (v *View[S]) Exactly(k int, pred func(S) bool) bool {
 // in unspecified order. Intended for remapping and for formal automata
 // that expand the multiset; algorithm programs should prefer the
 // capped/mod observations.
+//
+//fssga:hotpath
 func (v *View[S]) ForEach(f func(state S, count int)) {
 	if v.idx != nil {
 		for k, s := range v.present {
+			//fssga:alloc(f is the caller's fold; viewpure holds step programs to allocation-free observation)
 			f(s, int(v.dense[v.presIdx[k]]))
 		}
 		return
 	}
 	for s, n := range v.counts {
+		//fssga:alloc(f is the caller's fold; viewpure holds step programs to allocation-free observation)
 		f(s, n)
 	}
 }

@@ -22,11 +22,17 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
-echo "== fssga-vet (determinism, symmetry & model-contract analyzers)"
+echo "== fssga-vet (determinism, symmetry, model-contract & hot-path analyzers)"
 go run ./cmd/fssga-vet repro/...
 
-echo "== fssga-vet -audit (no stale //fssga:nondet directives)"
-go run ./cmd/fssga-vet -audit repro/... > /dev/null
+echo "== fssga-vet self-check (the analyzers pass their own code)"
+go run ./cmd/fssga-vet repro/internal/analysis/... repro/cmd/fssga-vet
+
+echo "== fssga-vet hot-path gate (-json envelope, hotalloc + shardsafe)"
+go run ./cmd/fssga-vet -json -analyzers hotalloc,shardsafe repro/... > /dev/null
+
+echo "== fssga-vet -audit (no stale directives, suppression ratchet)"
+go run ./cmd/fssga-vet -audit -ratchet scripts/suppression_ratchet.txt repro/... > /dev/null
 
 echo "== go test -cover ./... (coverage ratchet)"
 ./scripts/coverage.sh
