@@ -17,17 +17,19 @@ test:
 cover:
 	./scripts/coverage.sh
 
-# Determinism, symmetry, model-contract and hot-path static analyzers
-# (internal/analysis) via the fssga-vet multichecker: detrand, maporder,
-# viewpure, seedplumb, globalwrite, symcontract, finstate, capinfer,
-# hotalloc, shardsafe. Exit 1 on any finding not carrying an audited
-# //fssga:nondet or //fssga:alloc directive.
+# Determinism, symmetry, model-contract, hot-path and concurrency
+# static analyzers (internal/analysis) via the fssga-vet multichecker:
+# detrand, maporder, viewpure, seedplumb, globalwrite, symcontract,
+# finstate, capinfer, hotalloc, shardsafe, goroleak, chanprotocol,
+# lockorder, atomicmix. Exit 1 on any finding not carrying an audited
+# //fssga:nondet, //fssga:alloc or //fssga:conc directive.
 lint:
 	$(GO) run ./cmd/fssga-vet repro/...
 	$(GO) run ./cmd/fssga-vet -audit -ratchet scripts/suppression_ratchet.txt repro/... > /dev/null
 
-# Inventory the //fssga:nondet and //fssga:alloc suppression directives
-# with the analyzers each one absorbs; exit 1 if any directive is stale
+# Inventory the //fssga:nondet, //fssga:alloc and //fssga:conc
+# suppression directives with the analyzers each one absorbs; exit 1 if
+# any directive is stale
 # or a per-analyzer count exceeds its scripts/suppression_ratchet.txt
 # ceiling.
 audit:

@@ -1,7 +1,8 @@
-// Command fssga-vet runs the repository's determinism, symmetry and
-// hot-path analyzers (detrand, maporder, viewpure, seedplumb,
-// globalwrite, symcontract, finstate, capinfer, hotalloc, shardsafe)
-// over Go packages. It has two modes:
+// Command fssga-vet runs the repository's determinism, symmetry,
+// hot-path and concurrency analyzers (detrand, maporder, viewpure,
+// seedplumb, globalwrite, symcontract, finstate, capinfer, hotalloc,
+// shardsafe, goroleak, chanprotocol, lockorder, atomicmix) over Go
+// packages. It has two modes:
 //
 // Standalone, over go package patterns (the default is ./...):
 //

@@ -94,7 +94,8 @@ func TestJSONEmptyFindingsOnClean(t *testing.T) {
 // field names, ordering and indentation are all part of the tool's
 // contract with scripts/check.sh and any CI consumer. One golden per
 // envelope-shaping analyzer family: maporder for the determinism suite,
-// hotalloc and shardsafe for the hot-path gate.
+// hotalloc and shardsafe for the hot-path gate, and the four
+// concurrency analyzers for the concurrency gate.
 func TestJSONGolden(t *testing.T) {
 	for _, tc := range []struct {
 		golden string
@@ -103,6 +104,10 @@ func TestJSONGolden(t *testing.T) {
 		{"maporder.golden.json", []string{"-json", "-fixtures", fixtureRoot, "maporder"}},
 		{"hotalloc.golden.json", []string{"-json", "-analyzers", "hotalloc", "-fixtures", fixtureRoot, "hotalloc"}},
 		{"shardsafe.golden.json", []string{"-json", "-analyzers", "shardsafe", "-fixtures", fixtureRoot, "shardsafe/fssga"}},
+		{"goroleak.golden.json", []string{"-json", "-analyzers", "goroleak", "-fixtures", fixtureRoot, "goroleak"}},
+		{"chanprotocol.golden.json", []string{"-json", "-analyzers", "chanprotocol", "-fixtures", fixtureRoot, "chanprotocol"}},
+		{"lockorder.golden.json", []string{"-json", "-analyzers", "lockorder", "-fixtures", fixtureRoot, "lockorder"}},
+		{"atomicmix.golden.json", []string{"-json", "-analyzers", "atomicmix", "-fixtures", fixtureRoot, "atomicmix"}},
 	} {
 		t.Run(tc.golden, func(t *testing.T) {
 			var out, errb bytes.Buffer

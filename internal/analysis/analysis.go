@@ -50,18 +50,40 @@
 //     worker's claimed shard range, the read snapshot is read-only, and
 //     captured scratch must not be retained across rounds.
 //
+// Four concurrency analyzers sit on the conc.go effect layer
+// (interprocedural summaries of spawns, channel operations, select
+// arms, mutex pairs and atomic accesses) and prove the scheduler's side
+// of the model (Def 3.11: fair scheduling, constant work per
+// activation):
+//
+//   - goroleak: every `go` statement in non-test code has a proven
+//     termination path — blocking receives are releasable by a close
+//     reachable from an exported owner, unconditional loops contain an
+//     escape;
+//   - chanprotocol: close-at-most-once, no send-after-close, wake-channel
+//     sends are non-blocking select/default, buffered capacities are
+//     named constants;
+//   - lockorder: unlock-on-all-paths over the CFG, no double
+//     acquisition, no lock held across a blocking channel operation, one
+//     unit-wide lock acquisition order;
+//   - atomicmix: a field accessed via sync/atomic anywhere is accessed
+//     atomically everywhere.
+//
 // A diagnostic at a call site that has been audited and found safe is
 // suppressed by a directive comment placed on the flagged line or the
 // line directly above it:
 //
 //	//fssga:nondet <reason>
 //	//fssga:alloc(<reason>)
+//	//fssga:conc(<reason>)
 //
 // Each analyzer honours exactly one directive kind (//fssga:nondet by
-// default, //fssga:alloc for hotalloc), so an allocation cannot be waved
-// through by a determinism audit or vice versa. The reason is free text
-// but should say why the site cannot desynchronize a replay (nondet) or
-// why the allocation is acceptable on a hot path (alloc).
+// default, //fssga:alloc for hotalloc, //fssga:conc for the concurrency
+// analyzers), so an allocation cannot be waved through by a determinism
+// audit or vice versa. The reason is free text but should say why the
+// site cannot desynchronize a replay (nondet), why the allocation is
+// acceptable on a hot path (alloc), or why the concurrency contract
+// holds anyway (conc).
 package analysis
 
 import (
@@ -313,6 +335,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		Detrand, Maporder, Viewpure, Seedplumb, Globalwrite,
 		Symcontract, Finstate, Capinfer, Hotalloc, Shardsafe,
+		Goroleak, Chanprotocol, Lockorder, Atomicmix,
 	}
 }
 

@@ -28,3 +28,11 @@ func TestCapinfer(t *testing.T) { analysistest.Run(t, analysis.Capinfer, "capinf
 func TestHotalloc(t *testing.T) { analysistest.Run(t, analysis.Hotalloc, "hotalloc") }
 
 func TestShardsafe(t *testing.T) { analysistest.Run(t, analysis.Shardsafe, "shardsafe/fssga") }
+
+func TestGoroleak(t *testing.T) { analysistest.Run(t, analysis.Goroleak, "goroleak") }
+
+func TestChanprotocol(t *testing.T) { analysistest.Run(t, analysis.Chanprotocol, "chanprotocol") }
+
+func TestLockorder(t *testing.T) { analysistest.Run(t, analysis.Lockorder, "lockorder") }
+
+func TestAtomicmix(t *testing.T) { analysistest.Run(t, analysis.Atomicmix, "atomicmix") }

@@ -284,6 +284,65 @@ b3 exit:
 b4 range.body: {s += i} ->b1
 `,
 		},
+		{
+			// A select with no default arm dispatches to its cases with
+			// no bypass edge: the only way past the select is through an
+			// arm, which is exactly the blocking semantics goroleak's
+			// releasable-arm rule depends on. Each arm's comm statement
+			// is the first node of its case block.
+			name: "select_blocking_worker",
+			fn: `func f(stop, wake chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-wake:
+			work()
+		}
+	}
+}`,
+			want: `b0 entry: ->b1
+b1 for.body: C->b2 C->b3
+b2 select.case: {<-wake} {work()} ->b1
+b3 select.case: {<-stop} {return} ->b4
+b4 exit:
+`,
+		},
+		{
+			// A default arm is a case block with no comm statement: the
+			// select can always take it, so the non-blocking wake-send
+			// idiom (chanprotocol's required shape) never parks.
+			name: "select_with_default",
+			fn: `func f(wake chan struct{}) bool {
+	select {
+	case wake <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}`,
+			want: `b0 entry: C->b1 C->b2
+b1 select.case: {return false} ->b3
+b2 select.case: {wake <- struct{}{}} {return true} ->b3
+b3 exit:
+`,
+		},
+		{
+			// A go statement is a straight-line node in the spawner's
+			// CFG — the literal's body contributes no blocks or edges
+			// here (it is its own function), so spawner-side dataflow
+			// never sees the goroutine's blocking operations.
+			name: "go_statement_is_straightline",
+			fn: `func f(stop chan struct{}) {
+	go func() {
+		<-stop
+	}()
+	other()
+}`,
+			want: `b0 entry: {go func() { <-stop }()} {other()} ->b1
+b1 exit:
+`,
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,63 @@
+// Package atomicmix exercises the atomic-vs-plain access analyzer: a
+// field or variable touched through sync/atomic anywhere must be
+// touched atomically everywhere.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	hits int64
+}
+
+// ---- clean shapes ----
+
+// Inc and Load agree: n is atomic at every access.
+func (c *counter) Inc() { atomic.AddInt64(&c.n, 1) }
+
+// Load reads n atomically.
+func (c *counter) Load() int64 { return atomic.LoadInt64(&c.n) }
+
+// fresh initializes hits in a composite literal, which precedes
+// publication and is excused.
+func fresh() *counter {
+	return &counter{hits: 0}
+}
+
+// typed uses the typed atomics, which make mixed access
+// unrepresentable; the analyzer leaves them alone.
+type typed struct {
+	v atomic.Int64
+}
+
+func (t *typed) bump()       { t.v.Add(1) }
+func (t *typed) read() int64 { return t.v.Load() }
+
+// ---- flagged shapes ----
+
+// Bump uses atomic.AddInt64 on hits...
+func (c *counter) Bump() { atomic.AddInt64(&c.hits, 1) }
+
+// Mixed ...so this plain read races it.
+func (c *counter) Mixed() int64 {
+	return c.hits // want `plain access to "hits", which is accessed via atomic\.AddInt64 elsewhere: every access must go through sync/atomic`
+}
+
+var seq int64
+
+// Next claims seq for sync/atomic...
+func Next() int64 { return atomic.AddInt64(&seq, 1) }
+
+// peek ...so the package-level plain read is flagged too.
+func peek() int64 {
+	return seq // want `plain access to "seq", which is accessed via atomic\.AddInt64 elsewhere: every access must go through sync/atomic`
+}
+
+// ---- audited suppression ----
+
+// auditedPeek pins the //fssga:conc suppression path: the plain read is
+// acknowledged (e.g. pre-publication), so no want comment appears.
+func auditedPeek(c *counter) int64 {
+	//fssga:conc(fixture: read before the counter is published)
+	return c.hits
+}

@@ -1,0 +1,109 @@
+// Package chanprotocol exercises the channel-protocol analyzer:
+// single-owner close, no send-after-close, non-blocking wake sends, and
+// named-constant buffer capacities.
+package chanprotocol
+
+// bufSize names the wake-buffer protocol assumption: one outstanding
+// token per worker.
+const bufSize = 1
+
+// ---- clean shapes ----
+
+type pool struct {
+	stop chan struct{}
+	wake chan struct{}
+}
+
+// NewPool is the clean protocol: named-constant capacity, a single
+// close owner, and a wake send that can never park.
+func NewPool() *pool {
+	p := &pool{
+		stop: make(chan struct{}),
+		wake: make(chan struct{}, bufSize),
+	}
+	go func() {
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-p.wake:
+			}
+		}
+	}()
+	return p
+}
+
+// Wake nudges the worker without ever blocking the owner.
+func (p *pool) Wake() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Close is stop's single close owner.
+func (p *pool) Close() { close(p.stop) }
+
+// ---- flagged shapes ----
+
+type double struct {
+	done chan struct{}
+}
+
+// CloseTwice has two close sites for one channel; the second is the
+// protocol violation.
+func (d *double) CloseTwice(again bool) {
+	close(d.done)
+	if again {
+		close(d.done) // want `channel "done" is closed at 2 sites: close must have a single owner`
+	}
+}
+
+type feed struct {
+	out chan int
+}
+
+// Put races Finish: a send racing the close panics.
+func (f *feed) Put(v int) {
+	f.out <- v // want `send on "out", which is closed in this package: a send racing the close panics`
+}
+
+// Finish closes out.
+func (f *feed) Finish() { close(f.out) }
+
+type park struct {
+	wake chan struct{}
+}
+
+// Run parks a goroutine on the wake channel.
+func (p *park) Run() {
+	go func() {
+		<-p.wake
+	}()
+}
+
+// Kick would park the owner too once the buffer is full.
+func (p *park) Kick() {
+	p.wake <- struct{}{} // want `blocking send on wake channel "wake" \(a goroutine parks on it\): use a buffered channel with select/default`
+}
+
+// capacities: a bare literal and a runtime value are flagged; zero (a
+// rendezvous channel) and named constants are allowed.
+func capacities(n int) {
+	a := make(chan int, 4) // want `buffered capacity of "a" must be a named constant, not a bare literal: the buffer size encodes a protocol assumption`
+	b := make(chan int, n) // want `buffered capacity of "b" is not a compile-time constant: the buffer's blocking behaviour is unprovable`
+	c := make(chan int, bufSize)
+	d := make(chan int)
+	e := make(chan int, 0)
+	_, _, _, _, _ = a, b, c, d, e
+}
+
+// ---- audited suppression ----
+
+// audited pins the //fssga:conc suppression path: the bare capacity is
+// acknowledged, so no want comment appears.
+func audited() {
+	//fssga:conc(fixture: bare capacity pinned as audited)
+	f := make(chan int, 8)
+	_ = f
+}

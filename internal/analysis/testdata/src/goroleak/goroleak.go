@@ -1,0 +1,147 @@
+// Package goroleak exercises the goroutine-lifecycle analyzer: every
+// spawn shape it must prove terminating, every leak shape it must flag,
+// and the //fssga:conc audited-suppression path.
+package goroleak
+
+// ---- proven shapes ----
+
+type pool struct {
+	stop chan struct{}
+	jobs chan int
+}
+
+// NewPool spawns the canonical stoppable worker: the select's stop arm
+// receives from a channel closed by the exported Close, so the scheduler
+// contract guarantees release.
+func NewPool() *pool {
+	p := &pool{stop: make(chan struct{}), jobs: make(chan int)}
+	go func() {
+		for {
+			select {
+			case <-p.stop:
+				return
+			case j := <-p.jobs:
+				_ = j
+			}
+		}
+	}()
+	return p
+}
+
+// Close is the owner that releases the worker.
+func (p *pool) Close() { close(p.stop) }
+
+// SpawnPolling never blocks: the select has a default arm and the loop
+// has a return.
+func SpawnPolling(ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ch:
+			default:
+				return
+			}
+		}
+	}()
+}
+
+// ---- flagged shapes ----
+
+type leaky struct {
+	stop chan struct{}
+}
+
+// SpawnNeverClosed parks a goroutine on a channel nothing ever closes.
+func SpawnNeverClosed() {
+	l := &leaky{stop: make(chan struct{})}
+	go func() {
+		<-l.stop // want `goroutine blocks receiving from "stop" and it is never closed in this package`
+	}()
+}
+
+type orphan struct {
+	done chan struct{}
+}
+
+// SpawnOrphan parks on a channel whose only close site sits in an
+// unexported function no entry point reaches.
+func SpawnOrphan() {
+	o := &orphan{done: make(chan struct{})}
+	go func() {
+		<-o.done // want `goroutine blocks receiving from "done" and its close is unreachable from any exported entry point`
+	}()
+}
+
+func unreachableClose(o *orphan) { close(o.done) }
+
+// SpawnRange drains a channel that is never closed, so the range never
+// finishes.
+func SpawnRange(in chan int) {
+	go func() {
+		for range in { // want `goroutine ranges over channel "in" and it is never closed in this package`
+		}
+	}()
+}
+
+// SpawnDeadSend sends on a channel nobody outside the goroutine ever
+// receives from.
+func SpawnDeadSend() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1 // want `goroutine sends on "ch" with no receiver outside the goroutine`
+	}()
+}
+
+// SpawnSpin loops with no escape at all.
+func SpawnSpin() {
+	go func() {
+		for { // want `goroutine loops forever with no return or break: no termination path`
+		}
+	}()
+}
+
+// spin is the body of SpawnNamedSpin's goroutine: the diagnostic lands
+// on the loop inside the named function.
+func spin() {
+	for { // want `goroutine loops forever with no return or break: no termination path`
+	}
+}
+
+// SpawnNamedSpin resolves a same-unit declaration as the spawn target.
+func SpawnNamedSpin() {
+	go spin()
+}
+
+// SpawnDynamic cannot be resolved: the target is a parameter.
+func SpawnDynamic(f func()) {
+	go f() // want `goroutine target cannot be resolved statically: termination is unprovable`
+}
+
+// SpawnStuckSelect has no default and no arm an owner can release.
+func SpawnStuckSelect() {
+	dead := make(chan int)
+	go func() {
+		select { // want `goroutine's select has no arm releasable by an owner`
+		case <-dead:
+		}
+	}()
+}
+
+// SpawnEmptySelect blocks forever by construction.
+func SpawnEmptySelect() {
+	go func() {
+		select {} // want `goroutine blocks on empty select: no termination path`
+	}()
+}
+
+// ---- audited suppression ----
+
+// SpawnAudited leaks on purpose; the conc directive suppresses the
+// finding, which is pinned by the absence of a want comment.
+func SpawnAudited() {
+	ch := make(chan int)
+	go func() {
+		//fssga:conc(fixture: intentional leak pinning the suppression path)
+		ch <- 1
+	}()
+}

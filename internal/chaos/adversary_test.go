@@ -5,9 +5,12 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/graph"
+
+	"repro/internal/testutil"
 )
 
 func TestNewAdversaryFactory(t *testing.T) {
+	testutil.NoLeak(t)
 	g := graph.Path(8)
 	for _, name := range AdversaryNames {
 		adv, err := NewAdversary(name, g, 8, 16, 1)
@@ -24,6 +27,7 @@ func TestNewAdversaryFactory(t *testing.T) {
 }
 
 func TestChiTargetingKillsOnlyEligibleChi(t *testing.T) {
+	testutil.NoLeak(t)
 	g := graph.Path(8)
 	adv := NewChiTargeting(2, 3, 1)
 	obs := Observation{Chi: []int{3, 4}, Protected: []int{3}}
@@ -49,6 +53,7 @@ func TestChiTargetingKillsOnlyEligibleChi(t *testing.T) {
 }
 
 func TestChiTargetingEmptyChiNeverFires(t *testing.T) {
+	testutil.NoLeak(t)
 	g := graph.Path(6)
 	adv := NewChiTargeting(10, 1, 7)
 	for step := 1; step <= 20; step++ {
@@ -59,6 +64,7 @@ func TestChiTargetingEmptyChiNeverFires(t *testing.T) {
 }
 
 func TestCutTargetingPrefersBridges(t *testing.T) {
+	testutil.NoLeak(t)
 	g := graph.Path(6) // every edge is a bridge
 	adv := NewCutTargeting(1, 1, 3)
 	evs := adv.Next(g, 1, Observation{})
@@ -71,6 +77,7 @@ func TestCutTargetingPrefersBridges(t *testing.T) {
 }
 
 func TestCutTargetingFallsBackToMinDegreeNode(t *testing.T) {
+	testutil.NoLeak(t)
 	g := graph.Complete(5) // bridgeless
 	adv := NewCutTargeting(1, 1, 3)
 	evs := adv.Next(g, 1, Observation{Protected: []int{0}})
@@ -81,6 +88,7 @@ func TestCutTargetingFallsBackToMinDegreeNode(t *testing.T) {
 }
 
 func TestBurstFiresOnceAtItsStep(t *testing.T) {
+	testutil.NoLeak(t)
 	g := graph.Complete(8)
 	adv := NewBurst(4, 3, 1.0, 9) // nodes only
 	for step := 1; step <= 8; step++ {
@@ -103,6 +111,7 @@ func TestBurstFiresOnceAtItsStep(t *testing.T) {
 }
 
 func TestStaticDeliversAtRecordedSteps(t *testing.T) {
+	testutil.NoLeak(t)
 	sched := faults.Schedule{
 		faults.NodeAt(5, 1),
 		faults.NodeAt(2, 3),

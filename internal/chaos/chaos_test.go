@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"repro/internal/trace"
+
+	"repro/internal/testutil"
 )
 
 func gnp24(seed int64) trace.GraphSpec { return trace.GraphSpec{Gen: "gnp", N: 24, Seed: seed} }
@@ -16,6 +18,7 @@ func gnp24(seed int64) trace.GraphSpec { return trace.GraphSpec{Gen: "gnp", N: 2
 // cell unharmed (their χ is empty, so the adversary has nothing to aim
 // at).
 func TestChiBreaksBetaNotRobustTargets(t *testing.T) {
+	testutil.NoLeak(t)
 	cfg := Config{Target: "beta", Adversary: "chi", Graph: gnp24(5), Seed: 11}
 	log, err := Run(cfg)
 	if err != nil {
@@ -48,6 +51,7 @@ func TestChiBreaksBetaNotRobustTargets(t *testing.T) {
 // Every 0-sensitive target must survive every adversary at defaults — the
 // monitors prove resilience, not just absence of crashes.
 func TestRobustTargetsSurviveAllAdversaries(t *testing.T) {
+	testutil.NoLeak(t)
 	for _, target := range []string{"census", "shortestpath", "bfs"} {
 		for _, adv := range AdversaryNames {
 			cfg := Config{Target: target, Adversary: adv, Graph: gnp24(3), Seed: 7}
@@ -63,6 +67,7 @@ func TestRobustTargetsSurviveAllAdversaries(t *testing.T) {
 }
 
 func TestRunFillsDefaultsAndLog(t *testing.T) {
+	testutil.NoLeak(t)
 	log, err := Run(Config{Target: "census", Adversary: "burst", Graph: gnp24(1), Seed: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -82,6 +87,7 @@ func TestRunFillsDefaultsAndLog(t *testing.T) {
 }
 
 func TestRunRejectsUnknowns(t *testing.T) {
+	testutil.NoLeak(t)
 	if _, err := Run(Config{Target: "nope", Adversary: "chi", Graph: gnp24(1)}); err == nil {
 		t.Fatal("unknown target accepted")
 	}
@@ -97,6 +103,7 @@ func TestRunRejectsUnknowns(t *testing.T) {
 // rebuilt topology reproduces the violation, the round it struck, and
 // every per-round state digest.
 func TestReplayBitIdentical(t *testing.T) {
+	testutil.NoLeak(t)
 	for _, cell := range []struct{ target, adv string }{
 		{"beta", "chi"},
 		{"census", "burst"},
@@ -117,6 +124,7 @@ func TestReplayBitIdentical(t *testing.T) {
 // Worker count is execution detail, not semantics: a run recorded with
 // serial rounds replays digest-identically on parallel rounds.
 func TestReplayIdenticalAcrossWorkerCounts(t *testing.T) {
+	testutil.NoLeak(t)
 	cfg := Config{Target: "census", Adversary: "burst", Graph: gnp24(21), Seed: 17, Workers: 1}
 	log, err := Run(cfg)
 	if err != nil {
@@ -139,6 +147,7 @@ func TestReplayIdenticalAcrossWorkerCounts(t *testing.T) {
 
 // VerifyReplay must detect a doctored artifact, not just bless everything.
 func TestVerifyReplayDetectsTampering(t *testing.T) {
+	testutil.NoLeak(t)
 	log, err := Run(Config{Target: "beta", Adversary: "chi", Graph: gnp24(5), Seed: 11})
 	if err != nil {
 		t.Fatal(err)
@@ -157,6 +166,7 @@ func TestVerifyReplayDetectsTampering(t *testing.T) {
 }
 
 func TestRunLogArtifactRoundTripsThroughDisk(t *testing.T) {
+	testutil.NoLeak(t)
 	log, err := Run(Config{Target: "beta", Adversary: "chi", Graph: gnp24(5), Seed: 11})
 	if err != nil {
 		t.Fatal(err)
@@ -175,6 +185,7 @@ func TestRunLogArtifactRoundTripsThroughDisk(t *testing.T) {
 }
 
 func TestTargetRegistry(t *testing.T) {
+	testutil.NoLeak(t)
 	names := TargetNames()
 	if len(names) < 5 {
 		t.Fatalf("registry too small: %v", names)
@@ -193,6 +204,7 @@ func TestTargetRegistry(t *testing.T) {
 // The election target's ≤1-leader monitor stays green on a fault-free run
 // (transient premature leaders must be absorbed by the persistence grace).
 func TestElectionLeaderMonitorFaultFree(t *testing.T) {
+	testutil.NoLeak(t)
 	cfg := Config{
 		Target:    "election",
 		Adversary: "none",

@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/trace"
+
+	"repro/internal/testutil"
 )
 
 func soakConfig() CrashConfig {
@@ -27,6 +29,7 @@ func soakConfig() CrashConfig {
 // unit of a faulted, checkpointing run, reboot, and demand bit-identical
 // resumption — then corrupt committed bytes and demand loud refusals.
 func TestCrashSweep(t *testing.T) {
+	testutil.NoLeak(t)
 	cfg := soakConfig()
 	rep, err := cfg.CrashSweep()
 	if err != nil {
@@ -63,6 +66,7 @@ func TestCrashSweep(t *testing.T) {
 // valid envelope, wrong trajectory — and checks the soak's verdict
 // machinery calls it out rather than accepting the restore.
 func TestCrashSweepDetectsSilentCorruption(t *testing.T) {
+	testutil.NoLeak(t)
 	cfg := soakConfig()
 	cfg.BitFlips = 0
 
@@ -125,6 +129,7 @@ func TestCrashSweepDetectsSilentCorruption(t *testing.T) {
 
 // TestCrashSweepValidation rejects degenerate configs up front.
 func TestCrashSweepValidation(t *testing.T) {
+	testutil.NoLeak(t)
 	if _, err := (CrashConfig{}).CrashSweep(); err == nil {
 		t.Fatal("zero config accepted")
 	}

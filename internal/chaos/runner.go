@@ -78,6 +78,7 @@ func execute(cfg Config, g *graph.Graph, adv Adversary) (*trace.RunLog, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer sys.Close()
 	log := &trace.RunLog{
 		Target:       cfg.Target,
 		Adversary:    adv.Name(),

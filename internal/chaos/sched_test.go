@@ -8,6 +8,8 @@ import (
 	"repro/internal/algo/census"
 	"repro/internal/fssga"
 	"repro/internal/graph"
+
+	"repro/internal/testutil"
 )
 
 func asyncNet(t *testing.T) (*graph.Graph, *fssga.Network[census.State]) {
@@ -26,6 +28,7 @@ func asyncNet(t *testing.T) (*graph.Graph, *fssga.Network[census.State]) {
 // replays to the identical final state via ReplayScheduler — the async
 // half of the record/replay contract (the Picks field of trace.RunLog).
 func TestAsyncRecordReplay(t *testing.T) {
+	testutil.NoLeak(t)
 	g, net := asyncNet(t)
 	rec := &RecordingScheduler{Inner: &fssga.FairShuffle{}}
 	const activations = 200
@@ -46,6 +49,7 @@ func TestAsyncRecordReplay(t *testing.T) {
 }
 
 func TestReplaySchedulerExhaustionPanics(t *testing.T) {
+	testutil.NoLeak(t)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("no panic on exhausted recording")
@@ -58,6 +62,7 @@ func TestReplaySchedulerExhaustionPanics(t *testing.T) {
 }
 
 func TestReplaySchedulerDeadPickPanics(t *testing.T) {
+	testutil.NoLeak(t)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("no panic on a dead recorded pick")
@@ -68,6 +73,7 @@ func TestReplaySchedulerDeadPickPanics(t *testing.T) {
 }
 
 func TestReplaySchedulerRemaining(t *testing.T) {
+	testutil.NoLeak(t)
 	s := &ReplayScheduler{Picks: []int{2, 0}}
 	if s.Remaining() != 2 {
 		t.Fatalf("Remaining = %d, want 2", s.Remaining())

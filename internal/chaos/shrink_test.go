@@ -5,12 +5,15 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/trace"
+
+	"repro/internal/testutil"
 )
 
 // Shrinking a recorded β break must land on a locally-minimal schedule:
 // the result still fails, and removing ANY single remaining event makes
 // the run pass (1-minimality, checked exhaustively).
 func TestShrinkBetaBreakIsOneMinimal(t *testing.T) {
+	testutil.NoLeak(t)
 	cfg := Config{Target: "beta", Adversary: "burst", Graph: gnp24(5), Seed: 11}
 	log, err := Run(cfg)
 	if err != nil {
@@ -53,6 +56,7 @@ func TestShrinkBetaBreakIsOneMinimal(t *testing.T) {
 }
 
 func TestShrinkReportsNonReproducing(t *testing.T) {
+	testutil.NoLeak(t)
 	cfg := Config{Target: "census", Adversary: "none", Graph: gnp24(3), Seed: 7}
 	in := []faults.Event{faults.NodeAt(1, 5)}
 	out, _, reproduced := ShrinkEvents(cfg, in)

@@ -5,12 +5,15 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+
+	"repro/internal/testutil"
 )
 
 // TestDirFSStoreEndToEnd drives the production filesystem backend
 // through the full store protocol: commits, retention, recovery sweep,
 // and a loud refusal on a corrupted committed file.
 func TestDirFSStoreEndToEnd(t *testing.T) {
+	testutil.NoLeak(t)
 	fs, err := NewDirFS(filepath.Join(t.TempDir(), "ckpts"))
 	if err != nil {
 		t.Fatal(err)
@@ -77,6 +80,7 @@ func TestDirFSStoreEndToEnd(t *testing.T) {
 // when disarmed: reads and listings reach the inner FS, and the crash
 // flag stays down.
 func TestFaultFSPassThrough(t *testing.T) {
+	testutil.NoLeak(t)
 	mem := NewMemFS()
 	ffs := NewFaultFS(mem)
 	if err := ffs.WriteFile("a", []byte{1}); err != nil {

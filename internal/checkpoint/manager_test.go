@@ -11,6 +11,8 @@ import (
 	"repro/internal/fssga"
 	"repro/internal/graph"
 	"repro/internal/trace"
+
+	"repro/internal/testutil"
 )
 
 // coin is a probabilistic test automaton: its draws make RNG-position
@@ -39,6 +41,7 @@ func newCoinNet(g *graph.Graph, seed int64) *fssga.Network[int] {
 }
 
 func TestManagerFullRestoreResumesBitIdentically(t *testing.T) {
+	testutil.NoLeak(t)
 	const k, m, seed = 7, 10, 99
 	g := func() *graph.Graph { return graph.Torus(6, 6) }
 
@@ -78,6 +81,7 @@ func TestManagerFullRestoreResumesBitIdentically(t *testing.T) {
 }
 
 func TestManagerDeltaChainRestore(t *testing.T) {
+	testutil.NoLeak(t)
 	const seed = 5
 	g := func() *graph.Graph { return graph.Path(4000) }
 	init := func(v int) int {
@@ -144,6 +148,7 @@ func TestManagerDeltaChainRestore(t *testing.T) {
 }
 
 func TestManagerDeltaBrokenChainFailsLoudly(t *testing.T) {
+	testutil.NoLeak(t)
 	live := fssga.New[int](graph.Path(300), spread{}, func(v int) int { return v % 64 }, 1)
 	fs := checkpoint.NewMemFS()
 	store := checkpoint.NewStore(fs, 0)
@@ -172,6 +177,7 @@ func TestManagerDeltaBrokenChainFailsLoudly(t *testing.T) {
 }
 
 func TestManagerRestoreGuards(t *testing.T) {
+	testutil.NoLeak(t)
 	live := newCoinNet(graph.Torus(4, 4), 3)
 	store := checkpoint.NewStore(checkpoint.NewMemFS(), 0)
 	mgr := checkpoint.NewManager(live, store, checkpoint.Meta{Graph: trace.GraphSpec{Gen: "torus", N: 16, Seed: 0}})
@@ -199,6 +205,7 @@ func TestManagerRestoreGuards(t *testing.T) {
 }
 
 func TestManagerTopoHashCoversFaults(t *testing.T) {
+	testutil.NoLeak(t)
 	build := func() *graph.Graph { return graph.Torus(4, 4) }
 	live := newCoinNet(build(), 8)
 	store := checkpoint.NewStore(checkpoint.NewMemFS(), 0)
@@ -234,6 +241,7 @@ func TestManagerTopoHashCoversFaults(t *testing.T) {
 // trajectory (the paper's execution-model equivalence, now surviving a
 // process boundary).
 func TestManagerRestoreAcrossEngines(t *testing.T) {
+	testutil.NoLeak(t)
 	const k, m, seed = 5, 8, 321
 	n := 10 * 64 // comfortably multi-shard
 	build := func() *fssga.Network[int] {

@@ -28,6 +28,8 @@ import (
 	"repro/internal/faults"
 	"repro/internal/fssga"
 	"repro/internal/graph"
+
+	"repro/internal/testutil"
 )
 
 const (
@@ -209,6 +211,7 @@ func runDiff[S comparable](t *testing.T, wantAgg, det bool, mk func(g *graph.Gra
 }
 
 func TestAggDifferential(t *testing.T) {
+	testutil.NoLeak(t)
 	t.Run("twocolor", func(t *testing.T) {
 		runDiff(t, true, true, func(g *graph.Graph, seed int64) *fssga.Network[twocolor.State] {
 			return twocolor.NewNetwork(g, 0, seed)
@@ -279,6 +282,7 @@ func TestAggDifferential(t *testing.T) {
 // restore, RNG stream positions carry across, and the fault injector is
 // replayed to the checkpoint round.
 func TestAggDifferentialRestore(t *testing.T) {
+	testutil.NoLeak(t)
 	const rounds, ckptAt = 12, 6
 	autos := []struct {
 		name string

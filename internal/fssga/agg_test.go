@@ -17,6 +17,7 @@ import (
 // properties that make balanced-tree aggregation exact for any tree
 // shape and any leaf order.
 func TestSatTableAlgebra(t *testing.T) {
+	testutil.NoLeak(t)
 	for thresh := 0; thresh <= 6; thresh++ {
 		for period := 1; period <= 5; period++ {
 			tab, err := SaturationTable(thresh, period)
@@ -59,6 +60,7 @@ func TestSatTableAlgebra(t *testing.T) {
 }
 
 func TestSaturationTableRejectsBadFootprints(t *testing.T) {
+	testutil.NoLeak(t)
 	for _, bad := range [][2]int{{-1, 1}, {0, 0}, {3, -2}, {200, 100}} {
 		if _, err := SaturationTable(bad[0], bad[1]); err == nil {
 			t.Errorf("SaturationTable(%d, %d): want error", bad[0], bad[1])
@@ -75,6 +77,7 @@ func TestSaturationTableRejectsBadFootprints(t *testing.T) {
 // hub trees: folding per-state saturated increments through an arbitrary
 // binary tree shape equals projecting the true count directly.
 func TestQuickTreeFoldMatchesDirectProjection(t *testing.T) {
+	testutil.NoLeak(t)
 	prop := func(thresh uint8, period uint8, count uint16, shapeSeed int64) bool {
 		tb, err := SaturationTable(int(thresh%8), 1+int(period%6))
 		if err != nil {
@@ -176,6 +179,7 @@ func assertSameTrajectory(t *testing.T, rounds int, a, b *Network[int], step fun
 }
 
 func TestHubViewMatchesLinearScan(t *testing.T) {
+	testutil.NoLeak(t)
 	for _, auto := range []interface {
 		SaturatingAutomaton[int]
 	}{aggProbe{}, aggParity{}} {
@@ -207,6 +211,7 @@ func TestHubViewMatchesLinearScan(t *testing.T) {
 // activations mark their own tree leaves, and Quiescent reads through
 // hub trees without perturbing the trajectory.
 func TestHubViewActivateAndQuiescent(t *testing.T) {
+	testutil.NoLeak(t)
 	agg := New[int](graph.Star(200), aggProbe{}, starInit(5), 1)
 	lin := New[int](graph.Star(200), aggProbe{}, starInit(5), 1)
 	agg.SetAggDegreeCutoff(8)
@@ -234,6 +239,7 @@ func TestHubViewActivateAndQuiescent(t *testing.T) {
 // row), steady-state rounds rescan ~one leaf, not the whole degree-999
 // row, and never trigger full rebuilds.
 func TestAggIncrementalPath(t *testing.T) {
+	testutil.NoLeak(t)
 	net := New[int](graph.Star(1000), aggProbe{}, starInit(16), 1)
 	net.SetAggDegreeCutoff(8)
 	for r := 0; r < 3; r++ { // settle: non-adjacent 2s decay, tree built
@@ -265,6 +271,7 @@ func TestAggIncrementalPath(t *testing.T) {
 // the trajectory must stay identical to the linear path under the same
 // schedule.
 func TestAggHubDeathMidRun(t *testing.T) {
+	testutil.NoLeak(t)
 	mk := func(cutoff int) *Network[int] {
 		net := New[int](graph.PLaw(256, 2, 3, 5), aggProbe{}, func(v int) int {
 			if v%7 == 1 {
@@ -300,6 +307,7 @@ func TestAggHubDeathMidRun(t *testing.T) {
 // removals drag a hub below the cutoff (it must revert to linear scans),
 // and lowering the cutoff mid-run promotes a node into a hub.
 func TestAggDegreeCrossesCutoff(t *testing.T) {
+	testutil.NoLeak(t)
 	agg := New[int](graph.Star(40), aggProbe{}, starInit(6), 1)
 	lin := New[int](graph.Star(40), aggProbe{}, starInit(6), 1)
 	agg.SetAggDegreeCutoff(30)
@@ -332,6 +340,7 @@ func TestAggDegreeCrossesCutoff(t *testing.T) {
 // swaps the CSR pointer, and the aggregation metadata must follow it (the
 // old tree aliases the old snapshot's neighbour row).
 func TestAggSnapshotSwapStaleness(t *testing.T) {
+	testutil.NoLeak(t)
 	g := graph.Star(100)
 	for v := 50; v < 60; v++ { // a few leaf-leaf chords
 		g.AddEdge(v, v+10)
@@ -355,6 +364,7 @@ func TestAggSnapshotSwapStaleness(t *testing.T) {
 // and SetState must stale the trees so the next round rebuilds from the
 // restored vector instead of serving cached aggregates.
 func TestAggRestoreInvalidates(t *testing.T) {
+	testutil.NoLeak(t)
 	agg := New[int](graph.Star(300), aggProbe{}, starInit(17), 1)
 	lin := New[int](graph.Star(300), aggProbe{}, starInit(17), 1)
 	agg.SetAggDegreeCutoff(8)
@@ -387,6 +397,7 @@ func TestAggRestoreInvalidates(t *testing.T) {
 // TestAggMapFallbackStaysLinear: automata without dense views (or
 // without a footprint) must never engage trees, footprint or not.
 func TestAggMapFallbackStaysLinear(t *testing.T) {
+	testutil.NoLeak(t)
 	mapNet := New[int](graph.Star(200), StepFunc[int](aggProbe{}.Step), starInit(9), 1)
 	mapNet.SetAggDegreeCutoff(2)
 	mapNet.SyncRound()
@@ -402,6 +413,7 @@ func TestAggMapFallbackStaysLinear(t *testing.T) {
 }
 
 func TestSetAggDegreeCutoffRejectsNegative(t *testing.T) {
+	testutil.NoLeak(t)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("want panic on negative cutoff")

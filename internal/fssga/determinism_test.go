@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+
+	"repro/internal/testutil"
 )
 
 // TestDeterminismAcrossWorkerCountsWithFaults is the engine's central
@@ -17,6 +19,7 @@ import (
 // modes genuinely run on the shard pool rather than the small-network
 // serial fallback.
 func TestDeterminismAcrossWorkerCountsWithFaults(t *testing.T) {
+	testutil.NoLeak(t)
 	const n = 192
 	autos := map[string]struct {
 		auto Automaton[int]
@@ -94,6 +97,7 @@ func TestDeterminismAcrossWorkerCountsWithFaults(t *testing.T) {
 // (no mutable graph at all) are bit-identical across worker counts and
 // to their graph-backed twin, for a probabilistic automaton.
 func TestDeterminismCSRBacked(t *testing.T) {
+	testutil.NoLeak(t)
 	const rows, cols = 16, 16
 	init := func(v int) int { return v % 2 }
 	run := func(workers int) []int {

@@ -39,6 +39,7 @@ func newMaxNet(g *graph.Graph, seed int64) *Network[int] {
 }
 
 func TestSyncRoundSpreadsMax(t *testing.T) {
+	testutil.NoLeak(t)
 	g := graph.Path(6)
 	net := newMaxNet(g, 1)
 	// Max value 5 sits at one end; diameter is 5, so 5 rounds suffice.
@@ -56,6 +57,7 @@ func TestSyncRoundSpreadsMax(t *testing.T) {
 }
 
 func TestSyncUsesSnapshotSemantics(t *testing.T) {
+	testutil.NoLeak(t)
 	// On a path 0-1-2 with values 2,0,1: after ONE synchronous round node
 	// 1 must see the OLD values of its neighbours (2 and 1) -> becomes 2,
 	// and node 2 must see old 0 -> stays 1. Sequential in-place updating
@@ -72,6 +74,7 @@ func TestSyncUsesSnapshotSemantics(t *testing.T) {
 }
 
 func TestRunSyncUntilQuiescent(t *testing.T) {
+	testutil.NoLeak(t)
 	g := graph.Cycle(10)
 	net := newMaxNet(g, 1)
 	rounds, finished := net.RunSyncUntilQuiescent(100)
@@ -94,6 +97,7 @@ func TestRunSyncUntilQuiescent(t *testing.T) {
 }
 
 func TestRunSyncDonePredicate(t *testing.T) {
+	testutil.NoLeak(t)
 	g := graph.Path(8)
 	net := newMaxNet(g, 1)
 	rounds, finished := net.RunSync(100, func(n *Network[int]) bool {
@@ -105,6 +109,7 @@ func TestRunSyncDonePredicate(t *testing.T) {
 }
 
 func TestRunSyncRoundLimit(t *testing.T) {
+	testutil.NoLeak(t)
 	g := graph.Path(8)
 	net := newMaxNet(g, 1)
 	rounds, finished := net.RunSync(3, func(n *Network[int]) bool { return false })
@@ -114,6 +119,7 @@ func TestRunSyncRoundLimit(t *testing.T) {
 }
 
 func TestParallelMatchesSerialDeterministic(t *testing.T) {
+	testutil.NoLeak(t)
 	prop := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		g := graph.RandomConnectedGNP(40, 0.1, rng)
@@ -136,6 +142,7 @@ func TestParallelMatchesSerialDeterministic(t *testing.T) {
 }
 
 func TestParallelMatchesSerialProbabilistic(t *testing.T) {
+	testutil.NoLeak(t)
 	// Per-node random streams make even randomized automata bit-identical
 	// across worker counts.
 	prop := func(seed int64) bool {
@@ -160,6 +167,7 @@ func TestParallelMatchesSerialProbabilistic(t *testing.T) {
 }
 
 func TestSyncRoundParallelBadWorkersPanics(t *testing.T) {
+	testutil.NoLeak(t)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
@@ -169,6 +177,7 @@ func TestSyncRoundParallelBadWorkersPanics(t *testing.T) {
 }
 
 func TestActivateAsync(t *testing.T) {
+	testutil.NoLeak(t)
 	g := graph.Path(3)
 	net := newMaxNet(g, 1)
 	net.Activate(1) // sees 0 and 2 -> becomes 2
@@ -181,6 +190,7 @@ func TestActivateAsync(t *testing.T) {
 }
 
 func TestActivateDeadAndIsolatedNoop(t *testing.T) {
+	testutil.NoLeak(t)
 	g := graph.Path(3)
 	g.RemoveNode(1) // isolates 0 and 2
 	net := newMaxNet(g, 1)
@@ -195,6 +205,7 @@ func TestActivateDeadAndIsolatedNoop(t *testing.T) {
 }
 
 func TestDeadNodesFrozenInSyncRound(t *testing.T) {
+	testutil.NoLeak(t)
 	g := graph.Path(5)
 	net := newMaxNet(g, 1)
 	g.RemoveNode(4)
@@ -212,6 +223,7 @@ func TestDeadNodesFrozenInSyncRound(t *testing.T) {
 }
 
 func TestRunAsyncSchedulers(t *testing.T) {
+	testutil.NoLeak(t)
 	for name, sched := range map[string]Scheduler{
 		"roundrobin": &RoundRobin{},
 		"uniform":    UniformRandom{},
@@ -235,6 +247,7 @@ func TestRunAsyncSchedulers(t *testing.T) {
 }
 
 func TestRoundRobinIsFair(t *testing.T) {
+	testutil.NoLeak(t)
 	g := graph.Cycle(5)
 	net := newMaxNet(g, 1)
 	counts := map[int]int{}
@@ -253,6 +266,7 @@ func TestRoundRobinIsFair(t *testing.T) {
 }
 
 func TestFairShuffleCoversAllPerUnit(t *testing.T) {
+	testutil.NoLeak(t)
 	sched := &FairShuffle{}
 	rng := rand.New(rand.NewSource(1))
 	alive := []int{0, 1, 2, 3, 4, 5}
@@ -268,6 +282,7 @@ func TestFairShuffleCoversAllPerUnit(t *testing.T) {
 }
 
 func TestAdversarialScheduler(t *testing.T) {
+	testutil.NoLeak(t)
 	sched := Adversarial{PickFunc: func(alive []int, rng *rand.Rand) int {
 		return alive[0] // starve everyone but the smallest ID
 	}}
@@ -283,6 +298,7 @@ func TestAdversarialScheduler(t *testing.T) {
 }
 
 func TestRunAsyncAllDead(t *testing.T) {
+	testutil.NoLeak(t)
 	g := graph.Path(3)
 	net := newMaxNet(g, 1)
 	for v := 0; v < 3; v++ {
@@ -295,6 +311,7 @@ func TestRunAsyncAllDead(t *testing.T) {
 }
 
 func TestSetStateAndCountStates(t *testing.T) {
+	testutil.NoLeak(t)
 	g := graph.Path(4)
 	net := New[string](g, StepFunc[string](func(s string, v *View[string], r *rand.Rand) string { return s }), func(v int) string { return "blank" }, 1)
 	net.SetState(2, "red")
@@ -310,6 +327,7 @@ func TestSetStateAndCountStates(t *testing.T) {
 }
 
 func TestOnRoundHook(t *testing.T) {
+	testutil.NoLeak(t)
 	g := graph.Path(3)
 	net := newMaxNet(g, 1)
 	var rounds []int
@@ -322,6 +340,7 @@ func TestOnRoundHook(t *testing.T) {
 }
 
 func TestOnBeforeRoundHook(t *testing.T) {
+	testutil.NoLeak(t)
 	g := graph.Path(3)
 	net := newMaxNet(g, 1)
 	var pre, post []int
@@ -343,6 +362,7 @@ func TestOnBeforeRoundHook(t *testing.T) {
 // calling SyncRound — the survivors' views for that round already exclude
 // the victim.
 func TestOnBeforeRoundKillMatchesInjectorSemantics(t *testing.T) {
+	testutil.NoLeak(t)
 	ref := graph.Path(4)
 	refNet := newMaxNet(ref, 1)
 	refNet.SyncRound()
@@ -369,6 +389,7 @@ func TestOnBeforeRoundKillMatchesInjectorSemantics(t *testing.T) {
 // TestOnBeforeRoundFrontier: the frontier fast path must fire the hook and
 // honour kills performed inside it (stale-frontier invalidation).
 func TestOnBeforeRoundFrontier(t *testing.T) {
+	testutil.NoLeak(t)
 	g := graph.Path(5)
 	net := newMaxNet(g, 1)
 	var pre []int
@@ -395,6 +416,7 @@ func TestOnBeforeRoundFrontier(t *testing.T) {
 }
 
 func TestPerNodeStreamsIndependentOfSeedDetails(t *testing.T) {
+	testutil.NoLeak(t)
 	// Different master seeds must give different random behaviour.
 	g := graph.Complete(8)
 	a := New[int](g.Clone(), coinAutomaton{}, func(v int) int { return 0 }, 1)

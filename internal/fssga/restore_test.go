@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+
+	"repro/internal/testutil"
 )
 
 // TestLazySourceRewind: rewinding a counting source to a recorded
@@ -13,6 +15,7 @@ import (
 // one, regardless of which mix of Int63/Uint64 calls produced the
 // position (both advance the underlying rngSource one step per call).
 func TestLazySourceRewind(t *testing.T) {
+	testutil.NoLeak(t)
 	const seed, warm, tail = 99, 37, 64
 	ref := &lazySource{seed: seed}
 	for i := 0; i < warm; i++ {
@@ -57,6 +60,7 @@ func TestLazySourceRewind(t *testing.T) {
 // draws reports a nil position vector forever — checkpoints of
 // deterministic runs carry no stream state.
 func TestRNGPositionsDeterministicNil(t *testing.T) {
+	testutil.NoLeak(t)
 	net := newMaxNet(graph.Torus(4, 4), 7)
 	for i := 0; i < 6; i++ {
 		net.SyncRound()
@@ -77,6 +81,7 @@ func TestRNGPositionsDeterministicNil(t *testing.T) {
 // run both to round k+m — every subsequent round must be bit-identical,
 // across the serial, parallel, and frontier engines.
 func TestRestoreResumeFidelity(t *testing.T) {
+	testutil.NoLeak(t)
 	const k, m, seed = 9, 12, 1234
 	build := func() *Network[int] {
 		return New[int](graph.Torus(6, 6), denseCoin{}, func(v int) int { return v % 2 }, seed)
@@ -128,6 +133,7 @@ func TestRestoreResumeFidelity(t *testing.T) {
 // TestRestoreValidation: mismatched lengths and bad round counters are
 // rejected loudly, with the network untouched.
 func TestRestoreValidation(t *testing.T) {
+	testutil.NoLeak(t)
 	net := New[int](graph.Cycle(8), denseCoin{}, func(v int) int { return 0 }, 5)
 	if err := net.RestoreStates(make([]int, 3), 1); err == nil {
 		t.Fatal("short state vector accepted")
@@ -144,6 +150,7 @@ func TestRestoreValidation(t *testing.T) {
 // wrapper (the path automata use) are all counted, including derived
 // methods that consume multiple source steps.
 func TestLazyRandCountsThroughRand(t *testing.T) {
+	testutil.NoLeak(t)
 	src := &lazySource{seed: 3}
 	r := rand.New(src)
 	r.Intn(7)

@@ -87,6 +87,13 @@ type workerPanic struct {
 	stack  string
 }
 
+// wakeChanCap is the wake-channel buffer: one slot, so the round owner
+// can hand a worker its token without a rendezvous. A worker always
+// drains its token before wg.Done, and round() holds p.mu for the whole
+// round, so at most one token is ever outstanding per worker — the
+// buffer can never be full when round() offers the next one.
+const wakeChanCap = 1
+
 func newShardPool(workers int) *shardPool {
 	p := &shardPool{
 		workers: workers,
@@ -94,7 +101,7 @@ func newShardPool(workers int) *shardPool {
 		stop:    make(chan struct{}),
 	}
 	for w := range p.wake {
-		ch := make(chan struct{}, 1)
+		ch := make(chan struct{}, wakeChanCap)
 		p.wake[w] = ch
 		go func(id int) {
 			for {
@@ -142,7 +149,19 @@ func (p *shardPool) round(body func(worker int)) (*workerPanic, error) {
 	p.body = body
 	p.wg.Add(p.workers)
 	for _, ch := range p.wake {
-		ch <- struct{}{}
+		// Non-blocking by construction: the previous round's wg.Wait
+		// proved every worker consumed its token, so the 1-slot buffer is
+		// empty and the default branch is unreachable. Keeping the select
+		// makes that a checkable fact (chanprotocol/lockorder) instead of
+		// an argument in a comment: the round owner can never park on a
+		// worker's wake channel while holding p.mu.
+		select {
+		case ch <- struct{}{}:
+		default:
+			// A full buffer would mean a wake we issued was never consumed;
+			// the worker already has its token, so dropping this one is
+			// correct as well as impossible.
+		}
 	}
 	p.wg.Wait()
 	p.body = nil

@@ -12,6 +12,7 @@ import (
 // TestShardSpanAlignment: shard boundaries are multiples of shardAlign so
 // workers write disjoint cache lines of the next-state vector.
 func TestShardSpanAlignment(t *testing.T) {
+	testutil.NoLeak(t)
 	for _, tc := range []struct{ n, workers int }{
 		{65, 2}, {4096, 8}, {100000, 8}, {1 << 20, 16}, {130, 7},
 	} {
@@ -38,6 +39,7 @@ func TestShardSpanAlignment(t *testing.T) {
 // generator is bit-identical to a Graph-backed one over the same
 // topology — serial, sharded-parallel, and frontier rounds alike.
 func TestNewFromCSRMatchesNew(t *testing.T) {
+	testutil.NoLeak(t)
 	const rows, cols = 12, 23
 	n := rows * cols
 	init := func(v int) int { return v % 8 }
@@ -78,10 +80,13 @@ func TestNewFromCSRMatchesNew(t *testing.T) {
 // so CSR-backed and graph-backed networks agree even for automata that
 // consume randomness.
 func TestNewFromCSRProbabilistic(t *testing.T) {
+	testutil.NoLeak(t)
 	const n = 150
 	init := func(v int) int { return v % 2 }
 	a := New[int](graph.Cycle(n), denseCoin{}, init, 5)
+	defer a.Close()
 	b := NewFromCSR[int](graph.CycleCSR(n), denseCoin{}, init, 5)
+	defer b.Close()
 	for r := 0; r < 8; r++ {
 		a.SyncRoundParallel(3)
 		b.SyncRoundParallel(5)
@@ -98,6 +103,7 @@ func TestNewFromCSRProbabilistic(t *testing.T) {
 // states, committed-round counts, and quiescence detection — including
 // across mid-run faults that invalidate the shard metadata.
 func TestParallelFrontierMatchesSerialFrontier(t *testing.T) {
+	testutil.NoLeak(t)
 	prop := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		g0 := graph.RandomConnectedGNP(200, 0.02, rng)
@@ -141,6 +147,7 @@ func TestParallelFrontierMatchesSerialFrontier(t *testing.T) {
 // TestParallelFrontierQuiescenceSemantics: a quiescent parallel frontier
 // round commits nothing, exactly like the serial frontier round.
 func TestParallelFrontierQuiescenceSemantics(t *testing.T) {
+	testutil.NoLeak(t)
 	net := New[int](graph.Grid(10, 10), denseMax{100}, func(v int) int { return v }, 1)
 	defer net.Close()
 	rounds, finished := net.RunSyncParallelUntilQuiescent(100, 4)
@@ -174,6 +181,7 @@ func TestParallelFrontierQuiescenceSemantics(t *testing.T) {
 // TestParallelFrontierAfterOutOfBandChange: SetState between frontier
 // rounds must invalidate the shard bookkeeping so the change propagates.
 func TestParallelFrontierAfterOutOfBandChange(t *testing.T) {
+	testutil.NoLeak(t)
 	net := New[int](graph.Path(300), denseMax{1000}, func(v int) int { return 0 }, 1)
 	defer net.Close()
 	if changed := net.SyncRoundParallelFrontier(4); changed {
@@ -192,6 +200,7 @@ func TestParallelFrontierAfterOutOfBandChange(t *testing.T) {
 // TestPoolLifecycle: Close is idempotent, parallel rounds after Close
 // restart a fresh pool, and growing the worker count grows the pool.
 func TestPoolLifecycle(t *testing.T) {
+	testutil.NoLeak(t)
 	net := newMaxNet(graph.Cycle(500), 1)
 	net.SyncRoundParallel(2)
 	if net.pool == nil || net.pool.workers != 2 {
@@ -224,6 +233,7 @@ func TestPoolLifecycle(t *testing.T) {
 // the very round it precedes, on the sharded path (the CSR snapshot is
 // taken after the hook).
 func TestHookKillDuringParallelRound(t *testing.T) {
+	testutil.NoLeak(t)
 	ref := graph.Path(200)
 	refNet := newMaxNet(ref, 1)
 	refNet.SyncRound()
@@ -252,6 +262,7 @@ func TestHookKillDuringParallelRound(t *testing.T) {
 // produce exactly the streams of an eagerly built rand.NewSource —
 // chaos replay digests and cross-run determinism depend on it.
 func TestLazySourceStreamsMatchEager(t *testing.T) {
+	testutil.NoLeak(t)
 	for _, seed := range []int64{0, 1, -7, 1 << 40} {
 		eager := rand.New(rand.NewSource(seed))
 		lazy := lazyRand(seed)

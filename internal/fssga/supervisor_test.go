@@ -9,6 +9,8 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+
+	"repro/internal/testutil"
 )
 
 // panicMax is maxAutomaton with an injectable panic budget: while the
@@ -43,6 +45,7 @@ const supN = 4 * shardAlign // big enough for a real multi-shard parallel round
 // absorbed — the round retries and the run's trajectory is bit-identical
 // to an uninterrupted serial run.
 func TestSupervisedRecoversTransientPanic(t *testing.T) {
+	testutil.NoLeak(t)
 	var budget atomic.Int64
 	budget.Store(-1) // disarmed
 	g := graph.Cycle(supN)
@@ -69,6 +72,7 @@ func TestSupervisedRecoversTransientPanic(t *testing.T) {
 // not advance the node's RNG twice — the retried round and every round
 // after it must match an uninterrupted probabilistic run exactly.
 func TestSupervisedRewindsRNGOnRetry(t *testing.T) {
+	testutil.NoLeak(t)
 	var budget, refBudget atomic.Int64
 	budget.Store(-1)
 	refBudget.Store(-1 << 40) // reference never panics
@@ -96,6 +100,7 @@ func TestSupervisedRewindsRNGOnRetry(t *testing.T) {
 // same supervision; a transient panic mid-frontier-round retries and
 // converges identically to the serial frontier run.
 func TestSupervisedFrontierRecoversPanic(t *testing.T) {
+	testutil.NoLeak(t)
 	var budget atomic.Int64
 	budget.Store(-1)
 	g := graph.Grid(16, 16)
@@ -128,6 +133,7 @@ func TestSupervisedFrontierRecoversPanic(t *testing.T) {
 // as *PanicError after maxRoundAttempts, with the network left exactly
 // on its committed pre-round state — counter, states and RNG positions.
 func TestSupervisedExhaustionStructuredError(t *testing.T) {
+	testutil.NoLeak(t)
 	var budget atomic.Int64
 	budget.Store(1 << 40) // every attempt panics
 	net := New[int](graph.Cycle(supN), panicCoin{&budget}, func(v int) int { return v % 2 }, 9)
@@ -180,6 +186,7 @@ func TestSupervisedExhaustionStructuredError(t *testing.T) {
 // network return ErrConcurrentRound instead of racing on the double
 // buffer; exactly the successful calls commit.
 func TestConcurrentRoundsGetDefinedError(t *testing.T) {
+	testutil.NoLeak(t)
 	net := newMaxNet(graph.Cycle(supN), 1)
 	defer net.Close()
 
@@ -216,6 +223,7 @@ func TestConcurrentRoundsGetDefinedError(t *testing.T) {
 // restart) or reports a pool-closed error, and the committed trajectory
 // matches a serial run of the same length.
 func TestCloseRacingRoundsDefined(t *testing.T) {
+	testutil.NoLeak(t)
 	g := graph.Cycle(supN)
 	net := newMaxNet(g.Clone(), 1)
 	defer net.Close()

@@ -1,0 +1,86 @@
+package testutil_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/testutil"
+)
+
+// TestNoLeakCleanTest pins the happy path: a test whose goroutines all
+// finish passes untouched.
+func TestNoLeakCleanTest(t *testing.T) {
+	testutil.NoLeak(t)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+// TestNoLeakToleratesGrace pins the grace window: a goroutine that is
+// still draining at cleanup time but exits within the retry budget is
+// not a leak.
+func TestNoLeakToleratesGrace(t *testing.T) {
+	f := &fakeTB{TB: t}
+	testutil.NoLeak(f)
+	stop := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		<-stop
+	}()
+	// Release the goroutine only after the cleanup has started retrying.
+	release := time.AfterFunc(50*time.Millisecond, func() { close(stop) })
+	defer release.Stop()
+	f.runCleanups()
+	<-exited
+	if f.failed {
+		t.Fatalf("NoLeak failed despite the goroutine exiting within the grace window:\n%s", f.msg)
+	}
+}
+
+// TestNoLeakCatchesLeak pins the failure path against a fake TB: a
+// goroutine parked past the grace window is reported with its stack.
+func TestNoLeakCatchesLeak(t *testing.T) {
+	f := &fakeTB{TB: t}
+	testutil.NoLeak(f)
+	stop := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		<-stop
+	}()
+	f.runCleanups()
+	if !f.failed {
+		t.Fatal("NoLeak did not report the parked goroutine")
+	}
+	if want := "goroutine(s) leaked by this test"; !strings.Contains(f.msg, want) {
+		t.Fatalf("failure message %q does not contain %q", f.msg, want)
+	}
+	close(stop) // release it so this test is itself leak-free
+	<-exited
+}
+
+// fakeTB records Errorf and Cleanup instead of failing the real test.
+type fakeTB struct {
+	testing.TB
+	cleanups []func()
+	failed   bool
+	msg      string
+}
+
+func (f *fakeTB) Helper() {}
+
+func (f *fakeTB) Cleanup(fn func()) { f.cleanups = append(f.cleanups, fn) }
+
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.failed = true
+	f.msg = fmt.Sprintf(format, args...)
+}
+
+func (f *fakeTB) runCleanups() {
+	for i := len(f.cleanups) - 1; i >= 0; i-- {
+		f.cleanups[i]()
+	}
+}

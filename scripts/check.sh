@@ -31,6 +31,9 @@ go run ./cmd/fssga-vet repro/internal/analysis/... repro/cmd/fssga-vet
 echo "== fssga-vet hot-path gate (-json envelope, hotalloc + shardsafe)"
 go run ./cmd/fssga-vet -json -analyzers hotalloc,shardsafe repro/... > /dev/null
 
+echo "== fssga-vet concurrency gate (goroleak, chanprotocol, lockorder, atomicmix)"
+go run ./cmd/fssga-vet -json -analyzers goroleak,chanprotocol,lockorder,atomicmix repro/... > /dev/null
+
 echo "== fssga-vet -audit (no stale directives, suppression ratchet)"
 go run ./cmd/fssga-vet -audit -ratchet scripts/suppression_ratchet.txt repro/... > /dev/null
 
