@@ -1,0 +1,28 @@
+// Package lockprobe probes conditional acquisition propagation.
+package lockprobe
+
+import "sync"
+
+type s struct {
+	mu  sync.Mutex
+	out chan int
+}
+
+// condLeak locks only in a branch and returns without unlocking.
+func (x *s) condLeak(really bool) {
+	if really {
+		x.mu.Lock() // want `lock "x.mu" may be held at function exit on some path: unlock on every path or defer the unlock`
+		return
+	}
+}
+
+// condBlock locks in a branch, then blocks after the join.
+func (x *s) condBlock(really bool) {
+	if really {
+		x.mu.Lock()
+	}
+	x.out <- 1 // want `blocking send while holding "x.mu": the lock is held for the full park`
+	if really {
+		x.mu.Unlock()
+	}
+}
